@@ -1,0 +1,101 @@
+// Command mondrian-bench regenerates every table and figure of the
+// paper's evaluation (§7) and prints them alongside the published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/ecocloud-go/mondrian/internal/report"
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mondrian-bench: ")
+	var (
+		small  = flag.Bool("small", false, "run the reduced-size configuration (fast)")
+		sTup   = flag.Int("s-tuples", 0, "override large-relation cardinality")
+		rTup   = flag.Int("r-tuples", 0, "override small join relation cardinality")
+		params = flag.Bool("params", false, "print Table 3/4 simulation parameters and exit")
+		only   = flag.String("only", "", "run a single experiment: table5|fig6|fig7|fig8|fig9")
+		asJSON = flag.Bool("json", false, "emit all artifacts as JSON instead of text")
+	)
+	flag.Parse()
+
+	p := simulate.DefaultParams()
+	if *small {
+		p = simulate.TestParams()
+	}
+	if *sTup > 0 {
+		p.STuples = *sTup
+	}
+	if *rTup > 0 {
+		p.RTuples = *rTup
+	}
+
+	if *params {
+		report.WriteParams(os.Stdout, p)
+		return
+	}
+
+	suite := simulate.NewSuite(p)
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout, suite); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	run := func(name string, fn func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	run("table5", func() error {
+		rows, err := suite.Table5()
+		if err != nil {
+			return err
+		}
+		report.WriteTable5(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		series, err := suite.Fig6()
+		if err != nil {
+			return err
+		}
+		report.WriteFig(os.Stdout, "Figure 6: probe speedup vs CPU (log scale)", series)
+		return nil
+	})
+	run("fig7", func() error {
+		series, err := suite.Fig7()
+		if err != nil {
+			return err
+		}
+		report.WriteFig(os.Stdout, "Figure 7: overall speedup vs CPU (log scale)", series)
+		return nil
+	})
+	run("fig8", func() error {
+		entries, err := suite.Fig8()
+		if err != nil {
+			return err
+		}
+		report.WriteFig8(os.Stdout, entries)
+		return nil
+	})
+	run("fig9", func() error {
+		series, err := suite.Fig9()
+		if err != nil {
+			return err
+		}
+		report.WriteFig(os.Stdout, "Figure 9: efficiency improvement vs CPU (log scale)", series)
+		return nil
+	})
+	fmt.Println()
+}

@@ -1,0 +1,79 @@
+// Graphrank: BSP graph processing on the Mondrian Data Engine — the
+// paper's §4.1.2 claim that permutability extends to "any BSP-based graph
+// processing algorithm". Fixed-point PageRank and connected components
+// run on a random graph; every superstep's message exchange uses the
+// permutable shuffle, and results are verified against plain-Go
+// references.
+//
+//	go run ./examples/graphrank
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	mondrian "github.com/ecocloud-go/mondrian"
+)
+
+func main() {
+	log.SetFlags(0)
+	params := mondrian.DefaultParams()
+
+	const vertices, degree, steps = 20000, 8, 10
+	g := mondrian.RandomGraph(vertices, degree, 99)
+	fmt.Printf("graph: %d vertices, %d edges\n\n", g.NumVertices, g.NumEdges())
+
+	// --- PageRank on Mondrian vs the NMP baseline ----------------------
+	want := mondrian.RefPageRank(g, steps)
+	for _, sys := range []mondrian.System{mondrian.SystemNMP, mondrian.SystemMondrian} {
+		e, err := mondrian.NewEngine(params.EngineConfig(sys))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mondrian.RunBSP(e, mondrian.PageRankProgram(), g, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for v := range want {
+			if res.States[v] != want[v] {
+				log.Fatalf("%v: rank mismatch at vertex %d", sys, v)
+			}
+		}
+		fmt.Printf("%-10v PageRank ×%d supersteps: %8.1f µs, %d row activations ✓\n",
+			sys, res.Supersteps, res.TotalNs/1e3, e.DRAMStats().Activations)
+	}
+
+	// Top-ranked vertices.
+	type vr struct {
+		v    int
+		rank int64
+	}
+	ranked := make([]vr, vertices)
+	for v, r := range want {
+		ranked[v] = vr{v, r}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].rank > ranked[j].rank })
+	fmt.Println("\ntop vertices by rank (fixed-point):")
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  vertex %-6d rank %.3f\n", ranked[i].v,
+			float64(ranked[i].rank)/float64(mondrian.RefPageRank(mondrian.RingGraph(1), 0)[0]))
+	}
+
+	// --- connected components ------------------------------------------
+	sym := mondrian.Symmetrize(mondrian.RingGraph(1000))
+	e, err := mondrian.NewEngine(params.EngineConfig(mondrian.SystemMondrian))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cc, err := mondrian.RunBSP(e, mondrian.ComponentsProgram(), sym, 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := map[int64]bool{}
+	for _, l := range cc.States {
+		labels[l] = true
+	}
+	fmt.Printf("\nconnected components of a 1000-ring: %d component(s) after %d supersteps ✓\n",
+		len(labels), cc.Supersteps)
+}

@@ -1,0 +1,85 @@
+// Mapreduce: the paper's §4.1.2 claim in action — data permutability
+// "also applies to the data partitioning and shuffling phase of
+// MapReduce". A word-count-style job runs on the engine's MapReduce
+// layer; the map→reduce shuffle goes through the permutable-store path,
+// and the example contrasts the DRAM row activations of the shuffle with
+// and without hardware permutability.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mondrian "github.com/ecocloud-go/mondrian"
+)
+
+func place(e *mondrian.Engine, rel *mondrian.Relation) ([]*mondrian.Region, error) {
+	parts := rel.SplitEven(e.NumVaults())
+	regions := make([]*mondrian.Region, len(parts))
+	for v, p := range parts {
+		r, err := e.Place(v, p.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		regions[v] = r
+	}
+	return regions, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	params := mondrian.DefaultParams()
+
+	// "Documents": keys are word IDs (each word appears ~6 times).
+	words := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 13, Tuples: 1 << 15}, 6)
+
+	job := mondrian.MapReduceJob{
+		Name: "wordcount",
+		Map: func(t mondrian.Tuple, emit func(mondrian.Tuple)) {
+			emit(mondrian.Tuple{Key: t.Key, Val: 1})
+		},
+		Reduce: func(k mondrian.Key, vs []mondrian.Value, emit func(mondrian.Tuple)) {
+			var sum mondrian.Value
+			for _, v := range vs {
+				sum += v
+			}
+			emit(mondrian.Tuple{Key: k, Val: sum})
+		},
+	}
+	want := mondrian.RefMapReduce(job, words.Tuples)
+
+	fmt.Printf("word count over %d occurrences (%d distinct words)\n\n", words.Len(), len(want))
+
+	for _, sys := range []mondrian.System{mondrian.SystemNMP, mondrian.SystemNMPPerm, mondrian.SystemMondrian} {
+		e, err := mondrian.NewEngine(params.EngineConfig(sys))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs, err := place(e, words)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := mondrian.RunMapReduce(e, job, inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got []mondrian.Tuple
+		for _, r := range res.Out {
+			got = append(got, r.Tuples...)
+		}
+		status := "✓"
+		if !mondrian.SameMultiset(got, want) {
+			status = "✗"
+		}
+		fmt.Printf("%-10v map %7.1f µs  shuffle %7.1f µs  reduce %7.1f µs  | activations %6d  verified %s\n",
+			sys, res.MapNs/1e3, res.ShuffleNs/1e3, res.ReduceNs/1e3,
+			e.DRAMStats().Activations, status)
+	}
+
+	fmt.Println("\nThe shuffle is where permutability bites: NMP-perm and Mondrian")
+	fmt.Println("append arriving intermediate tuples sequentially, activating each")
+	fmt.Println("DRAM row once, while the baseline's interleaved writes re-activate")
+	fmt.Println("rows constantly.")
+}

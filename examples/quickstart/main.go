@@ -1,0 +1,40 @@
+// Quickstart: run a foreign-key join on the Mondrian Data Engine and
+// compare it against the CPU-centric baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mondrian "github.com/ecocloud-go/mondrian"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A laptop-scale setup: the paper's 4×16-vault system shape with a
+	// reduced dataset (speedups are ratios; the model is scale-aware).
+	params := mondrian.DefaultParams()
+	params.STuples = 1 << 16 // 64Ki S tuples (1 MB)
+	params.RTuples = 1 << 14
+
+	fmt.Println("Join (R ⋈ S) on two systems:")
+	var cpuNs float64
+	for _, sys := range []mondrian.System{mondrian.SystemCPU, mondrian.SystemMondrian} {
+		res, err := mondrian.RunExperiment(sys, mondrian.OperatorJoin, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10v partition %8.1f µs   probe %8.1f µs   total %8.1f µs   verified=%v\n",
+			res.System, res.PartitionNs/1e3, res.ProbeNs/1e3, res.TotalNs/1e3, res.Verified)
+		fmt.Printf("  %-10s row activations %d, row-hit rate %.0f%%, energy %.3g J\n",
+			"", res.DRAM.Activations, res.DRAM.RowHitRate()*100, res.Energy.Total())
+		if sys == mondrian.SystemCPU {
+			cpuNs = res.TotalNs
+		} else {
+			fmt.Printf("\n  Mondrian speedup over CPU: %.1f×\n", cpuNs/res.TotalNs)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Skewstudy exercises the behaviour the paper defers to future work
+// (§5.4): skewed key distributions. The engine's vault controllers are
+// armed with a best-effort overprovisioned destination buffer; when a
+// skewed shuffle would overflow a vault, the controller raises an
+// exception for the CPU to handle. This program runs Group-by over
+// increasingly skewed Zipf datasets and shows the CPU-side retry loop
+// that re-provisions the destination buffers until the shuffle fits, plus
+// the load imbalance skew induces.
+//
+//	go run ./examples/skewstudy
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	mondrian "github.com/ecocloud-go/mondrian"
+)
+
+func place(e *mondrian.Engine, rel *mondrian.Relation) ([]*mondrian.Region, error) {
+	parts := rel.SplitEven(e.NumVaults())
+	regions := make([]*mondrian.Region, len(parts))
+	for v, p := range parts {
+		r, err := e.Place(v, p.Tuples)
+		if err != nil {
+			return nil, err
+		}
+		regions[v] = r
+	}
+	return regions, nil
+}
+
+// runWithRetry is the CPU-side exception handler of §5.4: on overflow it
+// doubles the overprovisioning estimate and relaunches the operator.
+func runWithRetry(params mondrian.Params, rel *mondrian.Relation) (*mondrian.GroupByResult, float64, error) {
+	overprovision := 2.0
+	for attempt := 0; attempt < 8; attempt++ {
+		e, err := mondrian.NewEngine(params.EngineConfig(mondrian.SystemMondrian))
+		if err != nil {
+			return nil, 0, err
+		}
+		inputs, err := place(e, rel)
+		if err != nil {
+			return nil, 0, err
+		}
+		cfg := params.OperatorConfig(mondrian.SystemMondrian)
+		cfg.Overprovision = overprovision
+		res, err := mondrian.GroupBy(e, cfg, inputs)
+		switch {
+		case err == nil:
+			return res, overprovision, nil
+		case errors.Is(err, mondrian.ErrPartitionOverflow):
+			fmt.Printf("    overflow exception at overprovision ×%.0f — CPU re-provisions and retries\n",
+				overprovision)
+			overprovision *= 2
+		default:
+			return nil, 0, err
+		}
+	}
+	return nil, 0, fmt.Errorf("skew too extreme: gave up after 8 retries")
+}
+
+// imbalance reports max/mean bucket population for a 64-way partitioning.
+func imbalance(rel *mondrian.Relation, vaults int) float64 {
+	counts := make([]int, vaults)
+	for _, t := range rel.Tuples {
+		counts[int(uint64(t.Key)%uint64(vaults))]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / (float64(rel.Len()) / float64(vaults))
+}
+
+func main() {
+	log.SetFlags(0)
+	params := mondrian.DefaultParams()
+	const n = 1 << 15
+
+	fmt.Println("Group-by under key skew (Mondrian, permutable partitioning):")
+	fmt.Println()
+
+	// Uniform baseline plus three Zipf exponents.
+	datasets := []struct {
+		name string
+		rel  *mondrian.Relation
+	}{
+		{"uniform", mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 1, Tuples: n}, 4)},
+		{"zipf s=1.1", mondrian.ZipfRelation("z1", mondrian.WorkloadConfig{Seed: 2, Tuples: n, KeySpace: 1 << 20}, 1.1)},
+		{"zipf s=1.5", mondrian.ZipfRelation("z2", mondrian.WorkloadConfig{Seed: 3, Tuples: n, KeySpace: 1 << 20}, 1.5)},
+		{"zipf s=2.0", mondrian.ZipfRelation("z3", mondrian.WorkloadConfig{Seed: 4, Tuples: n, KeySpace: 1 << 20}, 2.0)},
+	}
+
+	vaults := params.Cubes * params.VaultsPer
+	for _, d := range datasets {
+		fmt.Printf("  %-12s imbalance ×%.2f\n", d.name, imbalance(d.rel, vaults))
+		res, overprov, err := runWithRetry(params, d.rel)
+		if err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		check := mondrian.RefGroupBy(d.rel.Tuples)
+		status := "✓"
+		if res.Groups != len(check) {
+			status = "✗"
+		}
+		fmt.Printf("    %d groups in %.1f µs at overprovision ×%.0f  verified %s\n\n",
+			res.Groups, res.Ns()/1e3, overprov, status)
+	}
+
+	fmt.Println("Takeaway: permutability is correctness-neutral under skew, but the")
+	fmt.Println("paper's uniform-distribution assumption hides the provisioning and")
+	fmt.Println("load-balance problem the retry loop above has to solve.")
+}

@@ -1,0 +1,3 @@
+module github.com/ecocloud-go/mondrian
+
+go 1.22

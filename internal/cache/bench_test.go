@@ -1,0 +1,21 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessSequential(b *testing.B) {
+	c := New(L1D32K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i%(1<<20))*8, false)
+	}
+}
+
+func BenchmarkAccessRandomFarField(b *testing.B) {
+	c := New(L1D32K())
+	addr := int64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr = addr*6364136223846793005 + 1
+		c.Access((addr>>20)&0x3ffffff8, i&1 == 0)
+	}
+}

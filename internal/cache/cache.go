@@ -1,0 +1,206 @@
+// Package cache models the cache hierarchy of the CPU-centric baseline
+// (and the L1s of the NMP baseline): set-associative, LRU-replaced,
+// write-back/write-allocate caches with a next-line prefetcher.
+//
+// Paper Table 3: the CPU has 32 KB 2-way L1d caches with 64 B blocks and a
+// shared 4 MB 16-way LLC; both CPU and NMP baselines feature a next-line
+// prefetcher "capable of issuing prefetches for up to three next cache
+// lines". The cache model filters the access stream the simulated memory
+// system sees: only misses (demand or prefetch) and dirty evictions reach
+// DRAM.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes      int
+	Ways           int
+	BlockBytes     int
+	HitLatencyNs   float64
+	MSHRs          int // outstanding-miss capacity (bounds miss-level parallelism)
+	PrefetchDegree int // next-line prefetch depth; 0 disables
+}
+
+// L1D32K returns the CPU/NMP baseline L1 data cache configuration
+// (32 KB, 2-way, 64 B blocks, 2-cycle latency at 2 GHz, 32 MSHRs).
+func L1D32K() Config {
+	return Config{SizeBytes: 32 << 10, Ways: 2, BlockBytes: 64, HitLatencyNs: 1.0, MSHRs: 32, PrefetchDegree: 3}
+}
+
+// LLC4M returns the shared last-level cache configuration
+// (4 MB, 16-way, 64 B blocks, 4-cycle hit latency at 2 GHz).
+func LLC4M() Config {
+	return Config{SizeBytes: 4 << 20, Ways: 16, BlockBytes: 64, HitLatencyNs: 2.0, MSHRs: 64}
+}
+
+// Stats aggregates cache events.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	DirtyEvictions uint64
+	PrefetchIssued uint64
+	PrefetchHits   uint64 // demand hits on prefetched-not-yet-used lines
+}
+
+// HitRate returns the demand hit rate.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type line struct {
+	tag        int64
+	valid      bool
+	dirty      bool
+	prefetched bool
+	lastUse    uint64
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	nsets int
+	tick  uint64
+	stats Stats
+}
+
+// New builds a cache from its configuration.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.Ways <= 0 || cfg.BlockBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid config %+v", cfg))
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
+	if nsets == 0 {
+		panic("cache: fewer than one set")
+	}
+	sets := make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics but keeps cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Flush invalidates the whole cache, returning the block addresses of all
+// dirty lines (which a memory system must write back).
+func (c *Cache) Flush() []int64 {
+	var wbs []int64
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				wbs = append(wbs, c.blockAddr(si, l.tag))
+				c.stats.DirtyEvictions++
+			}
+			*l = line{}
+		}
+	}
+	return wbs
+}
+
+func (c *Cache) index(addr int64) (set int, tag int64) {
+	blk := addr / int64(c.cfg.BlockBytes)
+	return int(blk % int64(c.nsets)), blk / int64(c.nsets)
+}
+
+func (c *Cache) blockAddr(set int, tag int64) int64 {
+	return (tag*int64(c.nsets) + int64(set)) * int64(c.cfg.BlockBytes)
+}
+
+// Result reports what one access did and what traffic it generated for the
+// next level down: Fetches are block addresses that must be read (demand
+// miss first, then prefetch misses), Writebacks are dirty evicted blocks.
+type Result struct {
+	Hit        bool
+	Fetches    []int64
+	Writebacks []int64
+}
+
+// Access performs one demand access to addr. Size is implicit: accesses
+// are block-granular (the caller splits larger requests).
+func (c *Cache) Access(addr int64, write bool) Result {
+	c.tick++
+	c.stats.Accesses++
+	var res Result
+	set, tag := c.index(addr)
+	if l := c.lookup(set, tag); l != nil {
+		c.stats.Hits++
+		if l.prefetched {
+			c.stats.PrefetchHits++
+			l.prefetched = false
+		}
+		l.lastUse = c.tick
+		l.dirty = l.dirty || write
+		res.Hit = true
+		return res
+	}
+	// Demand miss: allocate.
+	c.stats.Misses++
+	res.Fetches = append(res.Fetches, addr/int64(c.cfg.BlockBytes)*int64(c.cfg.BlockBytes))
+	if wb, ok := c.insert(set, tag, write, false); ok {
+		res.Writebacks = append(res.Writebacks, wb)
+	}
+	// Next-line prefetch on demand miss.
+	for i := 1; i <= c.cfg.PrefetchDegree; i++ {
+		pAddr := addr + int64(i*c.cfg.BlockBytes)
+		pSet, pTag := c.index(pAddr)
+		if c.lookup(pSet, pTag) != nil {
+			continue
+		}
+		c.stats.PrefetchIssued++
+		res.Fetches = append(res.Fetches, pAddr/int64(c.cfg.BlockBytes)*int64(c.cfg.BlockBytes))
+		if wb, ok := c.insert(pSet, pTag, false, true); ok {
+			res.Writebacks = append(res.Writebacks, wb)
+		}
+	}
+	return res
+}
+
+// lookup returns the matching valid line, updating nothing.
+func (c *Cache) lookup(set int, tag int64) *line {
+	for wi := range c.sets[set] {
+		l := &c.sets[set][wi]
+		if l.valid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// insert allocates a line for (set, tag), evicting LRU. It returns the
+// writeback block address if the victim was dirty.
+func (c *Cache) insert(set int, tag int64, dirty, prefetched bool) (writeback int64, dirtyEvict bool) {
+	victim := 0
+	for wi := range c.sets[set] {
+		l := &c.sets[set][wi]
+		if !l.valid {
+			victim = wi
+			break
+		}
+		if l.lastUse < c.sets[set][victim].lastUse {
+			victim = wi
+		}
+	}
+	v := &c.sets[set][victim]
+	if v.valid && v.dirty {
+		writeback = c.blockAddr(set, v.tag)
+		dirtyEvict = true
+		c.stats.DirtyEvictions++
+	}
+	*v = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetched, lastUse: c.tick}
+	return writeback, dirtyEvict
+}

@@ -1,0 +1,34 @@
+package dram
+
+import "testing"
+
+// Micro-benchmarks of the simulator's own hot paths.
+
+func BenchmarkAccessRowHit(b *testing.B) {
+	d := testDevice()
+	d.Access(0, 16, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(int64(i%16)*16, 16, false)
+	}
+}
+
+func BenchmarkAccessRowConflict(b *testing.B) {
+	d := testDevice()
+	g := d.Geometry()
+	stride := int64(g.RowBytes * g.Banks)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Access(int64(i%64)*stride, 16, false)
+	}
+}
+
+func BenchmarkWindowPushFlush(b *testing.B) {
+	d := testDevice()
+	w := NewWindow(d, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Push(Request{Addr: int64(i%4096) * 16, Size: 16, Write: true})
+	}
+	w.Flush()
+}

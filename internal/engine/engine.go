@@ -1,0 +1,291 @@
+// Package engine implements the Mondrian Data Engine's execution model —
+// the paper's primary contribution (§5). An Engine instance couples the
+// simulated memory fabric (HMC cubes, NoC, SerDes) with one compute unit
+// per vault (NMP/Mondrian) or a cache-backed multicore CPU, and exposes
+// the programming model of Fig. 4:
+//
+//   - MallocPermutable / ShuffleBegin / ShuffleEnd toggle hardware data
+//     permutability during the partitioning phase (§5.3, §5.4);
+//   - object buffers keep data objects within single memory messages;
+//   - stream buffers feed Mondrian units with binding prefetches (§5.2).
+//
+// Operators execute *functionally* on real tuples through Unit accessors;
+// every access is routed through the architecture's memory path (caches,
+// mesh, SerDes, DRAM row buffers) so that timing and energy emerge from
+// the same models the paper's arguments are built on. Work is divided
+// into steps (histogram build, data distribution, sort passes, ...); each
+// step's runtime is the barrier-synchronized maximum over compute-unit
+// times and memory/link busy times.
+package engine
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/cache"
+	"github.com/ecocloud-go/mondrian/internal/cores"
+	"github.com/ecocloud-go/mondrian/internal/dram"
+	"github.com/ecocloud-go/mondrian/internal/hmc"
+	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Arch identifies the three evaluated architectures.
+type Arch int
+
+const (
+	// CPU is the CPU-centric baseline: 16 OoO cores, cache hierarchy,
+	// passive cubes behind a star SerDes topology.
+	CPU Arch = iota
+	// NMP is the baseline near-memory system: one OoO core per vault.
+	NMP
+	// Mondrian is the co-designed system: in-order SIMD units with
+	// stream buffers and permutable-write vault controllers.
+	Mondrian
+)
+
+// String implements fmt.Stringer.
+func (a Arch) String() string {
+	switch a {
+	case CPU:
+		return "CPU"
+	case NMP:
+		return "NMP"
+	case Mondrian:
+		return "Mondrian"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Config assembles one evaluated system (paper Table 3).
+type Config struct {
+	Arch       Arch
+	Core       cores.Model
+	CPUCores   int  // CPU architecture only
+	Permutable bool // vault controllers honor permutable stores
+	UseStreams bool // compute units read via stream buffers
+	Cubes      int
+	VaultsPer  int
+	Topology   noc.Topology
+	Geometry   dram.Geometry
+	Timing     dram.Timing
+	ObjectSize int // permutability granularity (tuple size by default)
+	L1         cache.Config
+	LLC        cache.Config // CPU only
+	// BarrierNs is the fixed cost of one all-to-all MSI notification
+	// (ShuffleBegin/ShuffleEnd synchronization, §5.4).
+	BarrierNs float64
+}
+
+// Validate checks internal consistency.
+func (c Config) Validate() error {
+	if c.Cubes <= 0 || c.VaultsPer <= 0 {
+		return fmt.Errorf("engine: need cubes and vaults, got %d×%d", c.Cubes, c.VaultsPer)
+	}
+	if c.Arch == CPU && c.CPUCores <= 0 {
+		return fmt.Errorf("engine: CPU architecture needs CPUCores > 0")
+	}
+	if c.ObjectSize <= 0 || c.ObjectSize > hmc.ObjectBufferBytes {
+		return fmt.Errorf("engine: object size %d outside (0,%d]", c.ObjectSize, hmc.ObjectBufferBytes)
+	}
+	return nil
+}
+
+// Region is a contiguous tuple array resident in one vault. Tuples holds
+// the functional contents; Addr locates it in the simulated address space.
+type Region struct {
+	Vault  *hmc.Vault
+	Addr   int64
+	Tuples []tuple.Tuple
+	cap    int
+}
+
+// Cap returns the region's capacity in tuples.
+func (r *Region) Cap() int { return r.cap }
+
+// Len returns the region's current tuple count.
+func (r *Region) Len() int { return len(r.Tuples) }
+
+// EndAddr returns the first address past the region's capacity.
+func (r *Region) EndAddr() int64 { return r.Addr + int64(r.cap)*tuple.Size }
+
+// addrOf returns the address of tuple idx.
+func (r *Region) addrOf(idx int) int64 { return r.Addr + int64(idx)*tuple.Size }
+
+// View returns a read-only sub-region covering tuples [start, end) of r.
+// Views share r's backing storage and address range; they exist so merge
+// passes can tie individual sorted runs to stream buffers.
+func (r *Region) View(start, end int) *Region {
+	if start < 0 || end > len(r.Tuples) || start > end {
+		panic(fmt.Sprintf("engine: view [%d,%d) of region with %d tuples", start, end, len(r.Tuples)))
+	}
+	return &Region{
+		Vault:  r.Vault,
+		Addr:   r.addrOf(start),
+		Tuples: r.Tuples[start:end:end],
+		cap:    end - start,
+	}
+}
+
+// Reset empties the region (its capacity and address are unchanged), so a
+// scratch region can be reused across merge passes.
+func (r *Region) Reset() { r.Tuples = r.Tuples[:0] }
+
+// AccessKind classifies traced memory accesses.
+type AccessKind int
+
+// The traced access classes.
+const (
+	// TraceDemand is a compute unit's demand load/store.
+	TraceDemand AccessKind = iota
+	// TraceShuffle is a partitioning-phase store arriving at its
+	// destination vault at its software-computed address.
+	TraceShuffle
+	// TracePermuted is a permutable store at the address the vault
+	// controller chose.
+	TracePermuted
+)
+
+// Tracer observes the engine's memory accesses (see internal/trace).
+type Tracer interface {
+	Access(unit int, kind AccessKind, addr int64, size int, write bool)
+}
+
+// Engine is one configured system instance.
+type Engine struct {
+	cfg    Config
+	Sys    *hmc.System
+	llc    *cache.Cache // CPU only, shared
+	mesh   *noc.Mesh    // CPU-side tile mesh (CPU only)
+	tracer Tracer
+
+	units []*Unit
+
+	// Step state.
+	inStep  bool
+	profile StepProfile
+	snap    snapshot
+
+	// Accumulated run accounting.
+	steps      []StepTiming
+	totalNs    float64
+	barrierCnt int
+}
+
+// New builds an engine from a configuration.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg: cfg,
+		Sys: hmc.NewSystem(cfg.Cubes, cfg.VaultsPer, cfg.Topology, cfg.Geometry, cfg.Timing),
+	}
+	switch cfg.Arch {
+	case CPU:
+		e.llc = cache.New(cfg.LLC)
+		e.mesh = noc.NewMesh(4, 4) // 16-tile CPU chip (Fig. 5)
+		for i := 0; i < cfg.CPUCores; i++ {
+			u := &Unit{ID: i, engine: e, L1: cache.New(cfg.L1), tile: i % e.mesh.Tiles()}
+			// 64-entry L1 TLB and 1024-entry L2 TLB over 4 KB pages
+			// (Cortex-A57-class translation hardware).
+			u.tlbL1 = cache.New(cache.Config{SizeBytes: 64 * pageBytes, Ways: 4, BlockBytes: pageBytes})
+			u.tlbL2 = cache.New(cache.Config{SizeBytes: 1024 * pageBytes, Ways: 8, BlockBytes: pageBytes})
+			e.units = append(e.units, u)
+		}
+	case NMP:
+		for i, v := range e.Sys.Vaults() {
+			u := &Unit{ID: i, engine: e, Vault: v, L1: cache.New(cfg.L1)}
+			if cfg.Permutable {
+				b, err := hmc.NewObjectBuffer(cfg.ObjectSize)
+				if err != nil {
+					return nil, err
+				}
+				u.ObjBuf = b
+			}
+			e.units = append(e.units, u)
+		}
+	case Mondrian:
+		for i, v := range e.Sys.Vaults() {
+			b, err := hmc.NewObjectBuffer(cfg.ObjectSize)
+			if err != nil {
+				return nil, err
+			}
+			u := &Unit{ID: i, engine: e, Vault: v, ObjBuf: b}
+			if cfg.UseStreams {
+				u.Streams = hmc.NewStreamBufferSet(v)
+			}
+			e.units = append(e.units, u)
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown architecture %v", cfg.Arch)
+	}
+	return e, nil
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Units returns the compute units (16 CPU cores or one per vault).
+func (e *Engine) Units() []*Unit { return e.units }
+
+// NumVaults returns the vault count of the memory fabric.
+func (e *Engine) NumVaults() int { return e.Sys.NumVaults() }
+
+// Place loads tuples into a vault as pre-existing data. Placement models
+// the initial dataset residency and is not charged to any phase (the
+// paper measures operators on memory-resident data).
+func (e *Engine) Place(vaultID int, ts []tuple.Tuple) (*Region, error) {
+	return e.allocRegion(vaultID, ts, len(ts))
+}
+
+// AllocOut reserves an (initially empty) output region of capTuples in the
+// given vault — e.g. the CPU-provisioned destination buffers of the
+// partitioning phase (§5.3).
+func (e *Engine) AllocOut(vaultID, capTuples int) (*Region, error) {
+	return e.allocRegion(vaultID, nil, capTuples)
+}
+
+func (e *Engine) allocRegion(vaultID int, ts []tuple.Tuple, capTuples int) (*Region, error) {
+	v := e.Sys.Vault(vaultID)
+	if capTuples < len(ts) {
+		capTuples = len(ts)
+	}
+	n := int64(capTuples) * tuple.Size
+	if n == 0 {
+		n = tuple.Size // keep zero-capacity regions addressable
+	}
+	addr, err := v.Alloc(n, int64(e.cfg.Geometry.RowBytes))
+	if err != nil {
+		return nil, err
+	}
+	r := &Region{Vault: v, Addr: addr, cap: capTuples}
+	if ts != nil {
+		r.Tuples = append(r.Tuples, ts...)
+	}
+	return r, nil
+}
+
+// UnitForVault returns the compute unit co-located with vault v (NMP and
+// Mondrian architectures).
+func (e *Engine) UnitForVault(v int) *Unit {
+	if e.cfg.Arch == CPU {
+		panic("engine: CPU cores are not vault-resident")
+	}
+	return e.units[v]
+}
+
+// SetTracer installs (or, with nil, removes) a memory-access observer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// TotalNs returns the accumulated runtime of all completed steps.
+func (e *Engine) TotalNs() float64 { return e.totalNs }
+
+// Steps returns the timing of every completed step.
+func (e *Engine) Steps() []StepTiming { return e.steps }
+
+// LLC returns the shared last-level cache (nil outside the CPU arch).
+func (e *Engine) LLC() *cache.Cache { return e.llc }
+
+// DRAMStats returns cumulative DRAM statistics across all vaults.
+func (e *Engine) DRAMStats() dram.Stats { return e.Sys.TotalDRAMStats() }

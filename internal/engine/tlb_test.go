@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+	"github.com/ecocloud-go/mondrian/internal/workload"
+)
+
+// TLB behaviour of the CPU architecture (§5.1: the CPU translates virtual
+// addresses; NMP units are physically addressed and carry no TLBs).
+
+func TestNMPUnitsHaveNoTLB(t *testing.T) {
+	e := mustEngine(t, nmpConfig(false))
+	if e.Units()[0].tlbL1 != nil || e.Units()[0].tlbL2 != nil {
+		t.Fatal("NMP unit carries TLBs")
+	}
+	m := mustEngine(t, mondrianConfig())
+	if m.Units()[0].tlbL1 != nil {
+		t.Fatal("Mondrian unit carries TLBs")
+	}
+}
+
+func TestCPUSequentialScanRarelyWalks(t *testing.T) {
+	e := mustEngine(t, cpuConfig())
+	ts := workload.Sequential("s", 16<<10).Tuples // 256 KB = 64 pages
+	r, err := e.Place(0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := e.Units()[0]
+	e.BeginStep(StepProfile{Name: "scan", DepIPC: 2, InstPerAccess: 4})
+	for i := 0; i < r.Len(); i++ {
+		u.LoadTuple(r, i)
+	}
+	e.EndStep()
+	s1 := u.tlbL1.Stats()
+	// One TLB miss per 4 KB page: 64 misses out of 16 Ki accesses...
+	// L1-TLB misses can exceed pages slightly (set conflicts), but the
+	// miss RATE must be tiny for a sequential walk.
+	if rate := float64(s1.Misses) / float64(s1.Accesses); rate > 0.02 {
+		t.Fatalf("sequential scan TLB miss rate %.3f, want < 0.02", rate)
+	}
+}
+
+func TestCPURandomScatterWalks(t *testing.T) {
+	e := mustEngine(t, cpuConfig())
+	// Scatter writes over a working set of 2048 pages — far beyond the
+	// 64-entry L1 TLB and the 1024-entry L2 TLB.
+	regions := make([]*Region, 0, 64)
+	for v := 0; v < e.NumVaults(); v++ {
+		r, err := e.AllocOut(v, 8<<10) // 128 KB per vault
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions = append(regions, r)
+	}
+	u := e.Units()[0]
+	e.BeginStep(StepProfile{Name: "scatter", DepIPC: 1, InstPerAccess: 4})
+	rnd := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		rnd = rnd*6364136223846793005 + 1
+		v := int(rnd>>33) % len(regions)
+		idx := int(rnd>>20) % regions[v].Cap()
+		u.StoreTuple(regions[v], idx, tuple.Tuple{Key: tuple.Key(i)})
+	}
+	e.EndStep()
+	s1 := u.tlbL1.Stats()
+	if rate := float64(s1.Misses) / float64(s1.Accesses); rate < 0.5 {
+		t.Fatalf("scatter TLB miss rate %.3f, want > 0.5", rate)
+	}
+	// Page walks must have produced real DRAM traffic in the PTE region
+	// beyond the data writes themselves.
+	if u.tlbL2.Stats().Misses == 0 {
+		t.Fatal("scatter never missed the L2 TLB")
+	}
+}
+
+func TestPageWalkChargesMemory(t *testing.T) {
+	e := mustEngine(t, cpuConfig())
+	u := e.Units()[0]
+	r, err := e.AllocOut(0, 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.BeginStep(StepProfile{Name: "walk", DepIPC: 1, InstPerAccess: 1})
+	before := e.DRAMStats().Reads
+	// One access to a brand new page: TLB cold miss → two-level walk.
+	u.StoreTuple(r, 0, tuple.Tuple{})
+	walkReads := e.DRAMStats().Reads - before
+	e.EndStep()
+	if walkReads == 0 {
+		t.Fatal("page walk generated no memory reads")
+	}
+}
+
+func TestTLBStallContributesToStep(t *testing.T) {
+	// The same scatter work must take longer on the CPU when its TLB
+	// thrashes than a hypothetical repeat with warm TLBs.
+	e := mustEngine(t, cpuConfig())
+	u := e.Units()[0]
+	r, err := e.AllocOut(0, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := StepProfile{Name: "x", DepIPC: 1, InstPerAccess: 4}
+	e.BeginStep(prof)
+	for i := 0; i < r.Cap(); i++ {
+		u.StoreTuple(r, i, tuple.Tuple{Key: tuple.Key(i)})
+	}
+	cold := e.EndStep()
+	e.BeginStep(prof)
+	for i := 0; i < r.Cap(); i++ {
+		u.StoreTuple(r, i, tuple.Tuple{Key: tuple.Key(i)})
+	}
+	warm := e.EndStep()
+	if warm.Ns >= cold.Ns {
+		t.Fatalf("warm pass (%v) not faster than cold pass (%v)", warm.Ns, cold.Ns)
+	}
+}

@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/cache"
+	"github.com/ecocloud-go/mondrian/internal/hmc"
+	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Unit is one compute unit: a CPU core (CPU architecture) or the per-vault
+// logic-layer core (NMP/Mondrian). Operators run on Units; every accessor
+// both performs the functional operation on tuples and routes the memory
+// traffic through the architecture's path so that DRAM row behaviour,
+// interconnect occupancy and core stalls accumulate.
+type Unit struct {
+	ID     int
+	engine *Engine
+
+	Vault   *hmc.Vault // home vault (nil for CPU cores)
+	L1      *cache.Cache
+	Streams *hmc.StreamBufferSet
+	ObjBuf  *hmc.ObjectBuffer
+
+	tile int // CPU-mesh tile (CPU architecture only)
+
+	// CPU cores translate virtual addresses; the NMP units access their
+	// vaults physically (§5.1), so only CPU units carry TLBs. Random
+	// access over working sets far beyond TLB reach adds page-walk
+	// memory accesses — a first-class cost in full-system simulation.
+	tlbL1, tlbL2 *cache.Cache
+
+	// Per-step accounting (reset by BeginStep).
+	insts      float64
+	stallRawNs float64
+	accesses   uint64
+
+	// Run accounting.
+	busyNs    float64
+	instTotal float64
+}
+
+// Charge adds retired instructions to the unit's current step. The
+// operator cost model (internal/operators) decides the amounts; SIMD
+// execution charges fewer instructions per tuple.
+func (u *Unit) Charge(insts float64) {
+	if insts < 0 {
+		panic("engine: negative instruction charge")
+	}
+	u.insts += insts
+	u.instTotal += insts
+}
+
+// Instructions returns the instructions charged in the current step.
+func (u *Unit) Instructions() float64 { return u.insts }
+
+// --- demand access paths -------------------------------------------------
+
+// blockSplit applies fn to each cache-block-sized piece of [addr, addr+size).
+func blockSplit(addr int64, size, block int, fn func(addr int64)) {
+	end := addr + int64(size)
+	for a := addr / int64(block) * int64(block); a < end; a += int64(block) {
+		fn(a)
+	}
+}
+
+// ReadBytes performs a demand read. Cache hits are free (their latency is
+// folded into the dependency IPC); misses charge the full path latency as
+// raw stall, which EndStep divides by the core's sustainable MLP.
+func (u *Unit) ReadBytes(addr int64, size int) {
+	u.access(addr, size, false)
+}
+
+// WriteBytes performs a demand write. On the CPU the write-allocate cache
+// fetches the block (read-for-ownership) and the miss stalls the store
+// pipeline; on the NMP architectures stores are fire-and-forget (no
+// coherence, store buffers) and only occupy DRAM/link bandwidth.
+func (u *Unit) WriteBytes(addr int64, size int) {
+	u.access(addr, size, true)
+}
+
+func (u *Unit) access(addr int64, size int, write bool) {
+	if size <= 0 {
+		panic("engine: access size must be positive")
+	}
+	u.accesses++
+	e := u.engine
+	if e.tracer != nil {
+		e.tracer.Access(u.ID, TraceDemand, addr, size, write)
+	}
+	switch e.cfg.Arch {
+	case CPU:
+		blockSplit(addr, size, u.L1.Config().BlockBytes, func(a int64) {
+			u.cpuBlockAccess(a, write)
+		})
+	default:
+		if u.L1 != nil {
+			blockSplit(addr, size, u.L1.Config().BlockBytes, func(a int64) {
+				u.nmpBlockAccess(a, write)
+			})
+			return
+		}
+		// Cacheless Mondrian unit: direct vault access.
+		lat := u.directAccess(addr, size, write)
+		if !write {
+			u.stallRawNs += lat
+		}
+	}
+}
+
+// pageBytes is the virtual-memory page size the CPU's TLBs cover.
+const pageBytes = 4096
+
+// tlbLookup translates one address, returning the translation stall. An
+// L1-TLB hit is free, an L2-TLB hit costs a couple of cycles, and a full
+// miss performs a page walk: a real memory read of the page-table entry
+// through the cache hierarchy (PTEs live in a reserved tail of the owning
+// vault, so walk traffic shares DRAM banks with the data).
+func (u *Unit) tlbLookup(addr int64) float64 {
+	if u.tlbL1.Access(addr, false).Hit {
+		return 0
+	}
+	if u.tlbL2.Access(addr, false).Hit {
+		return 2 // L2 TLB hit: ~4 cycles at 2 GHz
+	}
+	e := u.engine
+	v := e.Sys.VaultOf(addr)
+	page := (addr - v.Base) / pageBytes
+	reserved := v.Size / 16
+	// Two-level radix walk: the last two table levels are real memory
+	// reads (the top levels stay cached and are not charged). PMD
+	// entries cover 512 pages each.
+	pmd := v.Base + v.Size - reserved + (page/512*8)%(reserved/2)
+	pte := v.Base + v.Size - reserved/2 + (page*8)%(reserved/2)
+	lat := u.cpuFetchFromLLC(pmd/64*64, 64)
+	lat += u.cpuFetchFromLLC(pte/64*64, 64)
+	return lat
+}
+
+// cpuBlockAccess walks one block through TLB → L1 → LLC → star network →
+// vault.
+func (u *Unit) cpuBlockAccess(addr int64, write bool) {
+	u.stallRawNs += u.tlbLookup(addr)
+	res := u.L1.Access(addr, write)
+	if res.Hit {
+		return
+	}
+	block := u.L1.Config().BlockBytes
+	var stall float64
+	for i, fetch := range res.Fetches {
+		lat := u.cpuFetchFromLLC(fetch, block)
+		if i == 0 { // only the demand block stalls; prefetches overlap
+			stall += lat
+		}
+	}
+	for _, wb := range res.Writebacks {
+		u.cpuWritebackToLLC(wb, block)
+	}
+	u.stallRawNs += stall
+}
+
+// cpuFetchFromLLC brings one block from the LLC (or DRAM below it).
+func (u *Unit) cpuFetchFromLLC(addr int64, block int) float64 {
+	e := u.engine
+	bank := int(addr/int64(block)) % e.mesh.Tiles() // block-interleaved NUCA
+	lat := e.mesh.Transfer(u.tile, bank, block)
+	res := e.llc.Access(addr, false)
+	lat += e.llc.Config().HitLatencyNs
+	if res.Hit {
+		return lat
+	}
+	for _, fetch := range res.Fetches {
+		v := e.Sys.VaultOf(fetch)
+		l := e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block) // request+data crossing
+		l += e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		l += v.Read(fetch, block)
+		lat += l
+	}
+	for _, wb := range res.Writebacks {
+		v := e.Sys.VaultOf(wb)
+		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
+		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		v.Write(wb, block)
+	}
+	return lat
+}
+
+// cpuWritebackToLLC spills one dirty L1 block into the LLC.
+func (u *Unit) cpuWritebackToLLC(addr int64, block int) {
+	e := u.engine
+	bank := int(addr/int64(block)) % e.mesh.Tiles()
+	e.mesh.Transfer(u.tile, bank, block)
+	res := e.llc.Access(addr, true)
+	if res.Hit {
+		return
+	}
+	for _, wb := range res.Writebacks {
+		v := e.Sys.VaultOf(wb)
+		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
+		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		v.Write(wb, block)
+	}
+}
+
+// nmpBlockAccess walks one block through the per-vault L1 and the fabric.
+func (u *Unit) nmpBlockAccess(addr int64, write bool) {
+	res := u.L1.Access(addr, write)
+	if res.Hit {
+		return
+	}
+	block := u.L1.Config().BlockBytes
+	var stall float64
+	for i, fetch := range res.Fetches {
+		lat := u.directAccess(fetch, block, false)
+		if i == 0 {
+			stall += lat
+		}
+	}
+	for _, wb := range res.Writebacks {
+		u.directAccess(wb, block, true)
+	}
+	if !write {
+		u.stallRawNs += stall
+	}
+}
+
+// directAccess reaches the owning vault through mesh/SerDes as needed and
+// returns the one-way latency (request-to-data).
+func (u *Unit) directAccess(addr int64, size int, write bool) float64 {
+	e := u.engine
+	dst := e.Sys.VaultOf(addr)
+	lat := u.routeLatency(dst, size)
+	if write {
+		return lat + dst.Write(addr, size)
+	}
+	return lat + dst.Read(addr, size)
+}
+
+// routeLatency charges the interconnect between this unit and a vault.
+func (u *Unit) routeLatency(dst *hmc.Vault, size int) float64 {
+	e := u.engine
+	if e.cfg.Arch == CPU {
+		lat := e.Sys.Net.Transfer(noc.CPUNode, dst.Cube, size)
+		return lat + e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
+	}
+	src := u.Vault
+	if src == dst {
+		return 0
+	}
+	if src.Cube == dst.Cube {
+		return e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, dst.Tile, size)
+	}
+	lat := e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, 0, size)
+	lat += e.Sys.Net.Transfer(src.Cube, dst.Cube, size)
+	lat += e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
+	return lat
+}
+
+// --- tuple-level accessors ------------------------------------------------
+
+// LoadTuple reads tuple idx of region r.
+func (u *Unit) LoadTuple(r *Region, idx int) tuple.Tuple {
+	if idx < 0 || idx >= len(r.Tuples) {
+		panic(fmt.Sprintf("engine: load index %d outside region of %d", idx, len(r.Tuples)))
+	}
+	u.ReadBytes(r.addrOf(idx), tuple.Size)
+	return r.Tuples[idx]
+}
+
+// StoreTuple writes tuple idx of region r in place (growing as needed).
+func (u *Unit) StoreTuple(r *Region, idx int, t tuple.Tuple) {
+	if idx < 0 || idx >= r.cap {
+		panic(fmt.Sprintf("engine: store index %d outside capacity %d", idx, r.cap))
+	}
+	ensureLen(r, idx+1)
+	r.Tuples[idx] = t
+	u.WriteBytes(r.addrOf(idx), tuple.Size)
+}
+
+// AppendLocal appends a tuple to a region in the unit's own vault
+// (sequential output writes of probe-phase algorithms).
+func (u *Unit) AppendLocal(r *Region, t tuple.Tuple) {
+	if len(r.Tuples) >= r.cap {
+		panic("engine: append past region capacity")
+	}
+	idx := len(r.Tuples)
+	r.Tuples = append(r.Tuples, t)
+	u.WriteBytes(r.addrOf(idx), tuple.Size)
+}
+
+func ensureLen(r *Region, n int) {
+	for len(r.Tuples) < n {
+		r.Tuples = append(r.Tuples, tuple.Tuple{})
+	}
+}
+
+// --- shuffle (partitioning-phase data distribution) -----------------------
+
+// SendAt ships a tuple to an exact slot of a (typically remote) region —
+// the conventional, address-preserving distribution used by the CPU, the
+// NMP baseline and Mondrian-noperm. The destination vault sees writes in
+// arrival order, which interleaving across sources turns into random row
+// traffic (paper Fig. 2).
+func (u *Unit) SendAt(dst *Region, idx int, t tuple.Tuple) {
+	if idx < 0 || idx >= dst.cap {
+		panic(fmt.Sprintf("engine: send index %d outside capacity %d", idx, dst.cap))
+	}
+	ensureLen(dst, idx+1)
+	dst.Tuples[idx] = t
+	e := u.engine
+	if e.cfg.Arch == CPU {
+		// CPU stores go through the cache hierarchy.
+		u.WriteBytes(dst.addrOf(idx), tuple.Size)
+		return
+	}
+	addr := dst.addrOf(idx)
+	if e.tracer != nil {
+		e.tracer.Access(u.ID, TraceShuffle, addr, tuple.Size, true)
+	}
+	u.routeLatency(dst.Vault, tuple.Size)
+	dst.Vault.Write(addr, tuple.Size)
+	dst.Vault.RecordInbound(tuple.Size)
+}
+
+// SendPermutable ships a tuple as a permutable store: the message drains
+// through the unit's object buffer, crosses the network, and the receiving
+// vault controller appends it sequentially into its armed permutable
+// region. The tuple's final position is chosen by hardware.
+func (u *Unit) SendPermutable(dst *Region, t tuple.Tuple) error {
+	if u.ObjBuf == nil {
+		return fmt.Errorf("engine: unit %d has no object buffer (permutability disabled)", u.ID)
+	}
+	if len(dst.Tuples) >= dst.cap {
+		return fmt.Errorf("%w: region in vault %d full", hmc.ErrRegionOverflow, dst.Vault.ID)
+	}
+	// The object buffer drains one object-sized message per completed
+	// object (§5.3); only drained messages cross the network.
+	for flushes := u.ObjBuf.Push(tuple.Size); flushes > 0; flushes-- {
+		u.routeLatency(dst.Vault, u.ObjBuf.ObjectSize())
+	}
+	target := dst.addrOf(len(dst.Tuples)) // any in-region address; hardware re-places
+	placed, _, err := dst.Vault.PermutableWrite(target, tuple.Size)
+	if err != nil {
+		return err
+	}
+	if e := u.engine; e.tracer != nil {
+		e.tracer.Access(u.ID, TracePermuted, placed, tuple.Size, true)
+	}
+	dst.Tuples = append(dst.Tuples, t) // arrival order IS the layout
+	return nil
+}

@@ -1,0 +1,95 @@
+// Package noc models the interconnects of the evaluated systems: the 2D
+// mesh network-on-chip that links the 16 vaults inside one HMC cube, and
+// the SerDes links that connect cubes to each other and to the CPU.
+//
+// Paper Table 3: NOC is a 2D mesh with 16 B links at 3 cycles/hop; the
+// inter-HMC network uses SerDes links at 10 GHz providing 160 Gb/s per
+// direction, arranged fully connected for the NMP systems and as a star
+// (through the CPU) for the CPU-centric system. Table 4 gives NOC energy
+// of 0.04 pJ/bit/mm and SerDes energy of 3 pJ/bit busy, 1 pJ/bit idle.
+package noc
+
+import "fmt"
+
+// Mesh models one cube's 2D mesh NoC with XY routing.
+type Mesh struct {
+	Width, Height int
+	LinkBytes     int     // flit width in bytes (16 B in the paper)
+	CyclesPerHop  int     // router+link latency per hop (3 in the paper)
+	FreqGHz       float64 // NoC clock (1 GHz, matching the logic layer)
+	HopMM         float64 // physical length of one hop in millimetres
+
+	stats MeshStats
+}
+
+// MeshStats aggregates NoC activity for energy accounting.
+type MeshStats struct {
+	Messages uint64
+	Bytes    uint64
+	BitMM    float64 // Σ bits × millimetres traveled (energy basis)
+	BusyNs   float64 // total link occupancy
+}
+
+// NewMesh creates a w×h mesh with the paper's link parameters.
+func NewMesh(w, h int) *Mesh {
+	if w <= 0 || h <= 0 {
+		panic("noc: mesh dimensions must be positive")
+	}
+	return &Mesh{Width: w, Height: h, LinkBytes: 16, CyclesPerHop: 3, FreqGHz: 1, HopMM: 1}
+}
+
+// Tiles returns the number of mesh endpoints.
+func (m *Mesh) Tiles() int { return m.Width * m.Height }
+
+// Stats returns a snapshot of accumulated mesh statistics.
+func (m *Mesh) Stats() MeshStats { return m.stats }
+
+// ResetStats clears the accumulated statistics.
+func (m *Mesh) ResetStats() { m.stats = MeshStats{} }
+
+// Hops returns the XY-routing hop count between two tiles.
+func (m *Mesh) Hops(src, dst int) int {
+	if src < 0 || src >= m.Tiles() || dst < 0 || dst >= m.Tiles() {
+		panic(fmt.Sprintf("noc: tile out of range (src=%d dst=%d tiles=%d)", src, dst, m.Tiles()))
+	}
+	sx, sy := src%m.Width, src/m.Width
+	dx, dy := dst%m.Width, dst/m.Width
+	return abs(sx-dx) + abs(sy-dy)
+}
+
+// Transfer accounts for moving size bytes from src to dst and returns the
+// latency in nanoseconds: per-hop pipeline latency plus serialization of
+// the message over the flit-wide links.
+func (m *Mesh) Transfer(src, dst, size int) float64 {
+	if size <= 0 {
+		panic("noc: transfer size must be positive")
+	}
+	hops := m.Hops(src, dst)
+	m.stats.Messages++
+	m.stats.Bytes += uint64(size)
+	m.stats.BitMM += float64(size*8) * float64(hops) * m.HopMM
+	flits := (size + m.LinkBytes - 1) / m.LinkBytes
+	cycleNs := 1.0 / m.FreqGHz
+	// Head latency: hops × cyclesPerHop; body streams behind at one flit
+	// per cycle (wormhole routing).
+	lat := float64(hops*m.CyclesPerHop)*cycleNs + float64(flits-1)*cycleNs
+	if hops == 0 {
+		lat = float64(flits-1) * cycleNs
+	}
+	m.stats.BusyNs += float64(flits) * cycleNs * float64(max(hops, 1))
+	return lat
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

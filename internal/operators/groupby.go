@@ -1,0 +1,187 @@
+package operators
+
+import (
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// AggKind indexes the six Group-by aggregation functions of §6.
+type AggKind int
+
+// The aggregation functions, in output order.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+	AggSumSq
+	numAggs
+)
+
+// GroupByResult reports a Group-by run.
+type GroupByResult struct {
+	// Out holds the emitted aggregate tuples: for each group, six tuples
+	// (group key, aggregate value) in AggKind order.
+	Out         []*engine.Region
+	Groups      int
+	Partition   *PartitionResult
+	PartitionNs float64
+	ProbeNs     float64
+}
+
+// Ns returns the operator's total runtime.
+func (r *GroupByResult) Ns() float64 { return r.PartitionNs + r.ProbeNs }
+
+// emitGroup appends one group's six aggregate tuples to out.
+func emitGroup(u *engine.Unit, out *engine.Region, key tuple.Key, a *Aggregates) {
+	vals := [numAggs]uint64{a.Count, a.Sum, a.Min, a.Max, a.Avg(), a.SumSq}
+	for _, v := range vals {
+		u.AppendLocal(out, tuple.Tuple{Key: key, Val: tuple.Value(v)})
+	}
+}
+
+// GroupBy groups the dataset by key and applies the six aggregation
+// functions (avg, count, min, max, sum, sum squared) to each group. The
+// partitioning phase hashes low-order key bits; the probe is hash
+// aggregation (CPU, NMP-rand) or sort-then-aggregate (NMP-seq, Mondrian).
+func GroupBy(e *engine.Engine, cfg Config, inputs []*engine.Region) (*GroupByResult, error) {
+	if err := checkInputs(e, inputs); err != nil {
+		return nil, err
+	}
+	cm := cfg.Costs
+	total := totalLen(inputs)
+	part := Partitioner{Buckets: bucketCount(e, cfg, total)}
+
+	pres, err := PartitionPhase(e, cfg, inputs, part)
+	if err != nil {
+		return nil, err
+	}
+	res := &GroupByResult{Partition: pres, PartitionNs: pres.Ns()}
+	t1 := e.TotalNs()
+
+	if cfg.SortProbe {
+		if err := groupBySortProbe(e, cm, pres.Buckets, res); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := groupByHashProbe(e, cfg, pres.Buckets, res); err != nil {
+			return nil, err
+		}
+	}
+	e.Barrier()
+	res.ProbeNs = e.TotalNs() - t1
+	return res, nil
+}
+
+// groupByHashProbe aggregates each probe group through a hash table of
+// running aggregates — random-access hash aggregation (CPU and NMP-rand).
+func groupByHashProbe(e *engine.Engine, cfg Config, buckets []*engine.Region, res *GroupByResult) error {
+	cm := cfg.Costs
+	groups := probeGroups(e, cfg, buckets)
+	tables := make([]*aggTable, len(groups))
+	outs := make([]*engine.Region, len(groups))
+	for g, group := range groups {
+		total := 0
+		for _, b := range group {
+			total += buckets[b].Len()
+		}
+		t, err := newAggTable(e, buckets[group[0]].Vault.ID, maxInt(total, 1))
+		if err != nil {
+			return err
+		}
+		tables[g] = t
+		out, err := e.AllocOut(buckets[group[0]].Vault.ID, maxInt(total, 1)*int(numAggs))
+		if err != nil {
+			return err
+		}
+		outs[g] = out
+	}
+	res.Out = outs
+
+	e.BeginStep(cm.HashProfile)
+	for g, group := range groups {
+		u := unitForGroup(e, groups, g)
+		for _, b := range group {
+			bucket := buckets[b]
+			for i := 0; i < bucket.Len(); i++ {
+				t := u.LoadTuple(bucket, i)
+				u.Charge(cm.HashAggInsts)
+				tables[g].update(u, t)
+			}
+		}
+		// Emission sweep over the table.
+		for key, agg := range tables[g].groups {
+			u.Charge(float64(numAggs) * 2)
+			emitGroup(u, outs[g], key, agg)
+			res.Groups++
+		}
+	}
+	e.EndStep()
+	return nil
+}
+
+// groupBySortProbe sorts each bucket, then aggregates in one sequential
+// pass — the NMP-preferred algorithm (more passes, all sequential).
+func groupBySortProbe(e *engine.Engine, cm CostModel, buckets []*engine.Region, res *GroupByResult) error {
+	outs := make([]*engine.Region, len(buckets))
+	for b, bucket := range buckets {
+		r, err := e.AllocOut(bucket.Vault.ID, maxInt(bucket.Len(), 1)*int(numAggs))
+		if err != nil {
+			return err
+		}
+		outs[b] = r
+	}
+	res.Out = outs
+	sorted, err := sortBuckets(e, cm, buckets)
+	if err != nil {
+		return err
+	}
+	insts := cm.SortAggInsts
+	prof := engine.StepProfile{Name: "agg-pass", DepIPC: 1.0, InstPerAccess: 5}
+	if isSIMD(e) {
+		insts /= cm.SIMDJoinFactor
+		prof.DepIPC = 2
+	}
+	e.BeginStep(probeProfile(e, prof))
+	for b, bucket := range sorted {
+		u := unitForBucket(e, b)
+		readers, err := u.OpenStreams(bucket)
+		if err != nil {
+			return err
+		}
+		var cur tuple.Key
+		var agg *Aggregates
+		for {
+			t, ok := readers[0].Next()
+			if !ok {
+				break
+			}
+			u.Charge(insts)
+			if agg == nil || t.Key != cur {
+				if agg != nil {
+					emitGroup(u, outs[b], cur, agg)
+					res.Groups++
+				}
+				cur = t.Key
+				agg = &Aggregates{Min: ^uint64(0)}
+			}
+			v := uint64(t.Val)
+			agg.Count++
+			agg.Sum += v
+			agg.SumSq += v * v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+		}
+		if agg != nil {
+			emitGroup(u, outs[b], cur, agg)
+			res.Groups++
+		}
+	}
+	e.EndStep()
+	return nil
+}

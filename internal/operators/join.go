@@ -1,0 +1,192 @@
+package operators
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// JoinResult reports a Join run (R ⋈ S on key equality).
+type JoinResult struct {
+	// Out holds the join output: one tuple per match with the S tuple's
+	// key and the XOR of the R and S payloads (a verifiable combine).
+	Out     []*engine.Region
+	Matches int
+	// RPartition and SPartition are the two partitioning sub-phases.
+	RPartition, SPartition *PartitionResult
+	PartitionNs            float64
+	ProbeNs                float64
+}
+
+// Ns returns the operator's total runtime.
+func (r *JoinResult) Ns() float64 { return r.PartitionNs + r.ProbeNs }
+
+// combine produces the verifiable join output payload.
+func combine(r, s tuple.Tuple) tuple.Tuple {
+	return tuple.Tuple{Key: s.Key, Val: r.Val ^ s.Val}
+}
+
+// Join executes R ⋈ S assuming a foreign-key relationship (every S tuple
+// matches exactly one R tuple, §6). Both relations are co-partitioned on
+// low-order key bits; the probe phase is a radix hash join (CPU,
+// NMP-rand, after Kim et al. / Balkesen et al.) or a sort-merge join
+// (NMP-seq, Mondrian).
+func Join(e *engine.Engine, cfg Config, rIn, sIn []*engine.Region) (*JoinResult, error) {
+	if err := checkInputs(e, rIn); err != nil {
+		return nil, err
+	}
+	if err := checkInputs(e, sIn); err != nil {
+		return nil, err
+	}
+	cm := cfg.Costs
+	part := Partitioner{Buckets: bucketCount(e, cfg, totalLen(sIn))}
+
+	rPart, err := PartitionPhase(e, cfg, rIn, part)
+	if err != nil {
+		return nil, fmt.Errorf("partitioning R: %w", err)
+	}
+	sPart, err := PartitionPhase(e, cfg, sIn, part)
+	if err != nil {
+		return nil, fmt.Errorf("partitioning S: %w", err)
+	}
+	res := &JoinResult{RPartition: rPart, SPartition: sPart,
+		PartitionNs: rPart.Ns() + sPart.Ns()}
+	t1 := e.TotalNs()
+
+	if cfg.SortProbe {
+		err = joinSortMergeProbe(e, cm, rPart.Buckets, sPart.Buckets, res)
+	} else {
+		err = joinHashProbe(e, cfg, rPart.Buckets, sPart.Buckets, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.Barrier()
+	res.ProbeNs = e.TotalNs() - t1
+	return res, nil
+}
+
+// joinHashProbe implements the radix hash join probe: per probe group,
+// build a hash table over the R tuples (the second hash step of Table 2),
+// then probe it with every S tuple. All accesses are group-local but
+// random — the working set the paper's CPU and NMP-rand probes see.
+func joinHashProbe(e *engine.Engine, cfg Config, rBuckets, sBuckets []*engine.Region, res *JoinResult) error {
+	cm := cfg.Costs
+	groups := probeGroups(e, cfg, sBuckets)
+	tables := make([]*hashTable, len(groups))
+	outs := make([]*engine.Region, len(groups))
+	for g, group := range groups {
+		rLen, sLen := 0, 0
+		for _, b := range group {
+			rLen += rBuckets[b].Len()
+			sLen += sBuckets[b].Len()
+		}
+		ht, err := newHashTable(e, rBuckets[group[0]].Vault.ID, maxInt(rLen, 1))
+		if err != nil {
+			return err
+		}
+		tables[g] = ht
+		out, err := e.AllocOut(sBuckets[group[0]].Vault.ID, maxInt(sLen, 1))
+		if err != nil {
+			return err
+		}
+		outs[g] = out
+	}
+	res.Out = outs
+
+	e.BeginStep(cm.HashProfile)
+	for g, group := range groups {
+		u := unitForGroup(e, groups, g)
+		for _, b := range group {
+			rb := rBuckets[b]
+			for i := 0; i < rb.Len(); i++ {
+				t := u.LoadTuple(rb, i)
+				u.Charge(cm.HashBuildInsts)
+				if err := tables[g].insert(u, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	e.EndStep()
+
+	e.BeginStep(cm.HashProfile)
+	for g, group := range groups {
+		u := unitForGroup(e, groups, g)
+		for _, b := range group {
+			sb := sBuckets[b]
+			for i := 0; i < sb.Len(); i++ {
+				s := u.LoadTuple(sb, i)
+				u.Charge(cm.HashProbeInsts)
+				if r, ok := tables[g].lookup(u, s.Key); ok {
+					u.AppendLocal(outs[g], combine(r, s))
+					res.Matches++
+				}
+			}
+		}
+	}
+	e.EndStep()
+	return nil
+}
+
+// joinSortMergeProbe implements the sort-merge join probe: sort both
+// buckets, then join them in one final sequential pass (§6: "all data in
+// the local vault is sorted and the two relations are joined doing a
+// final pass").
+func joinSortMergeProbe(e *engine.Engine, cm CostModel, rBuckets, sBuckets []*engine.Region, res *JoinResult) error {
+	outs := make([]*engine.Region, len(sBuckets))
+	for b, bucket := range sBuckets {
+		r, err := e.AllocOut(bucket.Vault.ID, maxInt(bucket.Len(), 1))
+		if err != nil {
+			return err
+		}
+		outs[b] = r
+	}
+	res.Out = outs
+	rSorted, err := sortBuckets(e, cm, rBuckets)
+	if err != nil {
+		return err
+	}
+	sSorted, err := sortBuckets(e, cm, sBuckets)
+	if err != nil {
+		return err
+	}
+
+	insts := cm.MergeJoinInsts
+	prof := engine.StepProfile{Name: "merge-join", DepIPC: 1.0, InstPerAccess: 5}
+	if isSIMD(e) {
+		insts /= cm.SIMDJoinFactor
+		prof.DepIPC = 2
+	}
+	e.BeginStep(probeProfile(e, prof))
+	for b := range rSorted {
+		u := unitForBucket(e, b)
+		readers, err := u.OpenStreams(rSorted[b], sSorted[b])
+		if err != nil {
+			return err
+		}
+		rr, sr := readers[0], readers[1]
+		rt, rok := rr.Next()
+		if rok {
+			u.Charge(insts)
+		}
+		for {
+			st, sok := sr.Next()
+			if !sok {
+				break
+			}
+			u.Charge(insts)
+			for rok && rt.Key < st.Key {
+				rt, rok = rr.Next()
+				u.Charge(insts)
+			}
+			if rok && rt.Key == st.Key {
+				u.AppendLocal(outs[b], combine(rt, st))
+				res.Matches++
+			}
+		}
+	}
+	e.EndStep()
+	return nil
+}

@@ -1,0 +1,338 @@
+package operators
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/hmc"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Partitioner maps keys to destination buckets. Join and Group-by hash on
+// low-order key bits; Sort range-partitions on high-order bits so bucket i
+// holds keys strictly smaller than bucket i+1's (Table 2, §6).
+type Partitioner struct {
+	Buckets  int
+	KeySpace uint64 // exclusive upper bound of keys; needed for HighBits
+	HighBits bool
+}
+
+// Bucket returns the destination bucket of a key.
+func (p Partitioner) Bucket(k tuple.Key) int {
+	if p.HighBits {
+		b := int(uint64(k) * uint64(p.Buckets) / p.KeySpace)
+		if b >= p.Buckets {
+			b = p.Buckets - 1
+		}
+		return b
+	}
+	return int(uint64(k) % uint64(p.Buckets))
+}
+
+// PartitionResult carries the partitioning phase's outputs and timing.
+type PartitionResult struct {
+	// Buckets holds one region per destination bucket. On the NMP
+	// architectures there is exactly one bucket per vault; on the CPU
+	// there are Partitioner.Buckets cache-sized buckets spread over the
+	// memory space.
+	Buckets []*engine.Region
+	// HistogramNs and DistributeNs split the phase's runtime.
+	HistogramNs  float64
+	DistributeNs float64
+	// Steps are the engine step timings of the phase.
+	Steps []engine.StepTiming
+}
+
+// Ns returns the phase's total runtime.
+func (p *PartitionResult) Ns() float64 { return p.HistogramNs + p.DistributeNs }
+
+// defaultOverprovision and bucketSlack size destination buffers — the
+// CPU's "best-effort overprovisioned estimation" (§5.3). The constant
+// slack absorbs the Poisson tail of small buckets.
+const (
+	defaultOverprovision = 2
+	bucketSlack          = 64
+)
+
+// ErrPartitionOverflow wraps the vault controller's overflow exception.
+var ErrPartitionOverflow = hmc.ErrRegionOverflow
+
+// PartitionPhase redistributes the input tuples into buckets. Inputs are
+// one region per vault (the initial random distribution of the dataset);
+// the phase performs the histogram build, the histogram exchange
+// (ShuffleBegin), the interleaved data distribution of Fig. 2, and the
+// completion barrier (ShuffleEnd).
+func PartitionPhase(e *engine.Engine, cfg Config, inputs []*engine.Region, part Partitioner) (*PartitionResult, error) {
+	if len(inputs) != e.NumVaults() {
+		return nil, fmt.Errorf("operators: %d input regions for %d vaults", len(inputs), e.NumVaults())
+	}
+	if e.Config().Arch == engine.CPU {
+		return cpuPartition(e, cfg, inputs, part)
+	}
+	return nmpPartition(e, cfg, inputs, part)
+}
+
+// histTraffic charges histogram-counter memory traffic when the histogram
+// cannot live on chip (8 B read-modify-write per tuple).
+func histTraffic(u *engine.Unit, cm CostModel, histAddr int64, buckets, bucket int) {
+	if buckets*8 <= cm.OnChipHistogramBytes {
+		return
+	}
+	a := histAddr + int64(bucket)*8
+	u.ReadBytes(a, 8)
+	u.WriteBytes(a, 8)
+}
+
+// distInsts selects the per-tuple distribution instruction cost for the
+// engine's architecture and feature set.
+func distInsts(e *engine.Engine, cm CostModel) (insts float64, profile engine.StepProfile) {
+	cfg := e.Config()
+	simd := cfg.Core.SIMDBits > 0
+	switch {
+	case cfg.Permutable && simd: // Mondrian: SIMD across the whole loop
+		p := cm.DistPermProfile
+		p.Name = "distribute-permutable-simd"
+		p.DepIPC = 2
+		return cm.DistPermInsts / cm.SIMDDistFactor, p
+	case cfg.Permutable: // NMP-perm
+		return cm.DistPermInsts, cm.DistPermProfile
+	case simd: // Mondrian-noperm: SIMD hash, scalar scatter + cursors
+		p := cm.DistConvProfile
+		p.Name = "distribute-conventional-simd"
+		p.DepIPC = 0.65
+		return cm.DistConvInsts / cm.SIMDDistScatterFactor, p
+	default: // CPU, NMP
+		return cm.DistConvInsts, cm.DistConvProfile
+	}
+}
+
+// nmpPartition runs the phase on the vault-resident architectures.
+func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Partitioner) (*PartitionResult, error) {
+	cm := cfg.Costs
+	nv := e.NumVaults()
+	if part.Buckets != nv {
+		return nil, fmt.Errorf("operators: NMP partitioning needs one bucket per vault (%d != %d)", part.Buckets, nv)
+	}
+	total := 0
+	for _, in := range inputs {
+		total += in.Len()
+	}
+	capPer := int(float64(total/nv)*cfg.overprovision()) + bucketSlack
+	dests, err := e.MallocPermutable(capPer)
+	if err != nil {
+		return nil, err
+	}
+	res := &PartitionResult{Buckets: dests}
+	t0 := e.TotalNs()
+
+	histInsts := cm.HistogramInsts
+	if isSIMD(e) {
+		histInsts /= cm.SIMDHistFactor
+	}
+
+	// Step 1: histogram build, every unit streaming its local partition.
+	// Per-vault histograms are 64 counters (512 B) and live on chip.
+	perSource := make([][]int64, nv)
+	e.BeginStep(probeProfile(e, cm.HistogramProfile))
+	for v := 0; v < nv; v++ {
+		u := e.UnitForVault(v)
+		perSource[v] = make([]int64, nv)
+		readers, err := u.OpenStreams(inputs[v])
+		if err != nil {
+			return nil, err
+		}
+		for {
+			t, ok := readers[0].Next()
+			if !ok {
+				break
+			}
+			perSource[v][part.Bucket(t.Key)]++
+			u.Charge(histInsts)
+		}
+	}
+	res.Steps = append(res.Steps, e.EndStep())
+
+	// Histogram exchange + permutable-region arming.
+	if err := e.ShuffleBegin(dests, perSource); err != nil {
+		return nil, err
+	}
+	res.HistogramNs = e.TotalNs() - t0
+	t1 := e.TotalNs()
+
+	// Step 2: data distribution, interleaved round-robin across sources
+	// (the arrival interleaving of Fig. 2).
+	insts, profile := distInsts(e, cm)
+	perm := e.Config().Permutable
+
+	// Conventional distribution needs per-(source,dest) write offsets:
+	// prefix sums over the exchanged histograms.
+	var offset [][]int
+	if !perm {
+		offset = make([][]int, nv)
+		for s := range offset {
+			offset[s] = make([]int, nv)
+		}
+		for dst := 0; dst < nv; dst++ {
+			run := 0
+			for src := 0; src < nv; src++ {
+				offset[src][dst] = run
+				run += int(perSource[src][dst])
+			}
+		}
+	}
+
+	e.BeginStep(probeProfile(e, profile))
+	readers := make([]*engine.StreamReader, nv)
+	for v := 0; v < nv; v++ {
+		rs, err := e.UnitForVault(v).OpenStreams(inputs[v])
+		if err != nil {
+			return nil, err
+		}
+		readers[v] = rs[0]
+	}
+	remaining := total
+	for remaining > 0 {
+		for v := 0; v < nv; v++ {
+			t, ok := readers[v].Next()
+			if !ok {
+				continue
+			}
+			u := e.UnitForVault(v)
+			remaining--
+			dst := part.Bucket(t.Key)
+			u.Charge(insts)
+			if perm {
+				if err := u.SendPermutable(dests[dst], t); err != nil {
+					return nil, err
+				}
+			} else {
+				u.SendAt(dests[dst], offset[v][dst], t)
+				offset[v][dst]++
+			}
+		}
+	}
+	res.Steps = append(res.Steps, e.EndStep())
+	e.ShuffleEnd(dests)
+	res.DistributeNs = e.TotalNs() - t1
+	return res, nil
+}
+
+// cpuPartition runs the phase on the CPU-centric system: cores stream
+// their share of the input and scatter tuples into cache-sized buckets
+// using exact histogram-derived offsets.
+func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Partitioner) (*PartitionResult, error) {
+	cm := cfg.Costs
+	units := e.Units()
+	nCores := len(units)
+	nv := e.NumVaults()
+	total := 0
+	for _, in := range inputs {
+		total += in.Len()
+	}
+
+	// Destination buckets spread round-robin over vaults.
+	capPer := int(float64(total/part.Buckets)*cfg.overprovision()) + bucketSlack
+	buckets := make([]*engine.Region, part.Buckets)
+	for b := range buckets {
+		r, err := e.AllocOut(b%nv, capPer)
+		if err != nil {
+			return nil, err
+		}
+		buckets[b] = r
+	}
+	res := &PartitionResult{Buckets: buckets}
+
+	// Per-core in-memory histograms (2^16 buckets = 512 KB each: far
+	// beyond on-chip capacity, unlike the NMP systems' 64 counters).
+	histAddrs := make([]int64, nCores)
+	for c := range histAddrs {
+		r, err := e.AllocOut(c%nv, part.Buckets/2+1)
+		if err != nil {
+			return nil, err
+		}
+		histAddrs[c] = r.Addr
+	}
+
+	// Cores split each vault's region evenly: core c owns inputs[i]
+	// for i ≡ c (mod nCores).
+	coreInputs := make([][]*engine.Region, nCores)
+	for i, in := range inputs {
+		c := i % nCores
+		coreInputs[c] = append(coreInputs[c], in)
+	}
+
+	t0 := e.TotalNs()
+	hist := make([][]int64, nCores)
+	histProf := cm.HistogramProfile
+	histProf.MLPOverride = cm.CPUPartitionMLP
+	e.BeginStep(histProf)
+	for c, u := range units {
+		hist[c] = make([]int64, part.Buckets)
+		for _, in := range coreInputs[c] {
+			for i := 0; i < in.Len(); i++ {
+				t := u.LoadTuple(in, i)
+				b := part.Bucket(t.Key)
+				hist[c][b]++
+				u.Charge(cm.HistogramInsts)
+				histTraffic(u, cm, histAddrs[c], part.Buckets, b)
+			}
+		}
+		// Prefix-sum pass over the histogram.
+		u.Charge(float64(part.Buckets) * 2)
+	}
+	res.Steps = append(res.Steps, e.EndStep())
+	e.Barrier() // cores exchange prefix sums before writing
+	res.HistogramNs = e.TotalNs() - t0
+	t1 := e.TotalNs()
+
+	// Per-(core,bucket) write offsets.
+	offset := make([][]int, nCores)
+	for c := range offset {
+		offset[c] = make([]int, part.Buckets)
+	}
+	for b := 0; b < part.Buckets; b++ {
+		run := 0
+		for c := 0; c < nCores; c++ {
+			offset[c][b] = run
+			run += int(hist[c][b])
+		}
+	}
+
+	insts, profile := distInsts(e, cm)
+	profile.MLPOverride = cm.CPUPartitionMLP
+	e.BeginStep(profile)
+	for c, u := range units {
+		for _, in := range coreInputs[c] {
+			for i := 0; i < in.Len(); i++ {
+				t := u.LoadTuple(in, i)
+				b := part.Bucket(t.Key)
+				u.Charge(insts)
+				u.SendAt(buckets[b], offset[c][b], t)
+				offset[c][b]++
+			}
+		}
+	}
+	res.Steps = append(res.Steps, e.EndStep())
+	e.Barrier()
+	res.DistributeNs = e.TotalNs() - t1
+	return res, nil
+}
+
+// CPUPartitionCount picks the CPU's bucket count: the paper's code uses
+// the keys' 16 low-order bits, "optimizing for our modeled system's
+// private cache size". We target ~2K tuples (32 KB) per bucket, capped at
+// 2^16 buckets, with a floor of one bucket per core.
+func CPUPartitionCount(totalTuples, cpuCores int) int {
+	target := totalTuples / 2048
+	p := 1
+	for p < target {
+		p <<= 1
+	}
+	if p > 1<<16 {
+		p = 1 << 16
+	}
+	for p < cpuCores {
+		p <<= 1
+	}
+	return p
+}

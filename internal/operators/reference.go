@@ -1,0 +1,92 @@
+package operators
+
+import (
+	"sort"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Reference implementations: plain-Go oracles the simulated operators are
+// verified against in tests and in simulate's cross-checks.
+
+// RefScan returns the tuples matching the needle.
+func RefScan(in []tuple.Tuple, needle tuple.Key) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, t := range in {
+		if t.Key == needle {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RefSort returns a key-sorted copy of the input.
+func RefSort(in []tuple.Tuple) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// RefGroupBy computes the six aggregates per group.
+func RefGroupBy(in []tuple.Tuple) map[tuple.Key]*Aggregates {
+	groups := make(map[tuple.Key]*Aggregates)
+	for _, t := range in {
+		g, ok := groups[t.Key]
+		if !ok {
+			g = &Aggregates{Min: ^uint64(0)}
+			groups[t.Key] = g
+		}
+		v := uint64(t.Val)
+		g.Count++
+		g.Sum += v
+		g.SumSq += v * v
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+	}
+	return groups
+}
+
+// RefGroupByTuples renders RefGroupBy in the operator's output encoding
+// (six tuples per group in AggKind order) for multiset comparison.
+func RefGroupByTuples(in []tuple.Tuple) []tuple.Tuple {
+	groups := RefGroupBy(in)
+	out := make([]tuple.Tuple, 0, len(groups)*int(numAggs))
+	for k, a := range groups {
+		vals := [numAggs]uint64{a.Count, a.Sum, a.Min, a.Max, a.Avg(), a.SumSq}
+		for _, v := range vals {
+			out = append(out, tuple.Tuple{Key: k, Val: tuple.Value(v)})
+		}
+	}
+	return out
+}
+
+// RefJoin computes R ⋈ S with a nested-loop join (via a map for speed),
+// producing the operator's output encoding.
+func RefJoin(r, s []tuple.Tuple) []tuple.Tuple {
+	rByKey := make(map[tuple.Key]tuple.Tuple, len(r))
+	for _, t := range r {
+		rByKey[t.Key] = t
+	}
+	var out []tuple.Tuple
+	for _, st := range s {
+		if rt, ok := rByKey[st.Key]; ok {
+			out = append(out, combine(rt, st))
+		}
+	}
+	return out
+}
+
+// Gather flattens operator output regions into one tuple slice.
+func Gather(regions []*engine.Region) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, r := range regions {
+		out = append(out, r.Tuples...)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package operators
+
+import (
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// ScanResult reports a Scan run.
+type ScanResult struct {
+	// Matches is the number of tuples whose key equals the needle.
+	Matches int
+	// Out holds the matching tuples (one region per participating unit).
+	Out []*engine.Region
+	// ProbeNs is the operator's runtime (Scan has no partitioning phase).
+	ProbeNs float64
+	Steps   []engine.StepTiming
+}
+
+// Scan searches every input partition in parallel for tuples matching the
+// needle key (§6: "each input data partition is scanned in parallel, and
+// each tuple is compared to the searched value"). Scan is the one
+// operator without a partitioning phase (Table 2).
+func Scan(e *engine.Engine, cfg Config, inputs []*engine.Region, needle tuple.Key) (*ScanResult, error) {
+	if err := checkInputs(e, inputs); err != nil {
+		return nil, err
+	}
+	cm := cfg.Costs
+	insts := cm.ScanInsts
+	if isSIMD(e) {
+		insts /= cm.SIMDScanFactor
+	}
+
+	res := &ScanResult{}
+	t0 := e.TotalNs()
+
+	// Output regions: matches are appended locally by whoever scans the
+	// partition. Capacity is bounded by the partition size.
+	outs := make([]*engine.Region, len(inputs))
+	for v, in := range inputs {
+		r, err := e.AllocOut(v, maxInt(in.Len(), 1))
+		if err != nil {
+			return nil, err
+		}
+		outs[v] = r
+	}
+	res.Out = outs
+
+	e.BeginStep(scanProfile(e, cm))
+	if e.Config().Arch == engine.CPU {
+		// Cores sweep the vault partitions round-robin over the star
+		// network; the sequential stream is prefetch-friendly but every
+		// byte crosses the CPU's SerDes links.
+		for v, in := range inputs {
+			u := e.Units()[v%len(e.Units())]
+			for i := 0; i < in.Len(); i++ {
+				t := u.LoadTuple(in, i)
+				u.Charge(insts)
+				if t.Key == needle {
+					u.AppendLocal(outs[v], t)
+					res.Matches++
+				}
+			}
+		}
+	} else {
+		for v, in := range inputs {
+			u := e.UnitForVault(v)
+			readers, err := u.OpenStreams(in)
+			if err != nil {
+				return nil, err
+			}
+			for {
+				t, ok := readers[0].Next()
+				if !ok {
+					break
+				}
+				u.Charge(insts)
+				if t.Key == needle {
+					u.AppendLocal(outs[v], t)
+					res.Matches++
+				}
+			}
+		}
+	}
+	res.Steps = append(res.Steps, e.EndStep())
+	res.ProbeNs = e.TotalNs() - t0
+	return res, nil
+}

@@ -1,0 +1,262 @@
+// Package pipeline composes the basic data operators into multi-stage
+// query plans — the way the paper's Table 1 workloads actually use them
+// (a Spark query is a chain of transformations, each lowering onto Scan,
+// Group by, Join or Sort). A plan is a tree of nodes; executing it runs
+// each operator on the engine and rematerializes intermediate results
+// into the canonical one-region-per-vault layout between stages (the
+// local compaction a real engine performs when an operator's output
+// feeds the next partitioning phase).
+package pipeline
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/operators"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Node is one stage of a query plan.
+type Node interface {
+	// Name labels the stage in reports.
+	Name() string
+	exec(x *executor) ([]*engine.Region, error)
+}
+
+// StageStats records one executed stage.
+type StageStats struct {
+	Name   string
+	Ns     float64
+	Tuples int
+}
+
+// Result is an executed plan's output.
+type Result struct {
+	Out    []*engine.Region
+	Stages []StageStats
+}
+
+// Tuples flattens the plan output.
+func (r *Result) Tuples() []tuple.Tuple { return operators.Gather(r.Out) }
+
+// Ns returns the plan's total runtime.
+func (r *Result) Ns() float64 {
+	var sum float64
+	for _, s := range r.Stages {
+		sum += s.Ns
+	}
+	return sum
+}
+
+type executor struct {
+	e      *engine.Engine
+	cfg    operators.Config
+	stages []StageStats
+}
+
+// Run executes a plan on the engine.
+func Run(e *engine.Engine, cfg operators.Config, root Node) (*Result, error) {
+	x := &executor{e: e, cfg: cfg}
+	out, err := root.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Out: out, Stages: x.stages}, nil
+}
+
+func (x *executor) record(name string, t0 float64, out []*engine.Region) {
+	n := 0
+	for _, r := range out {
+		n += r.Len()
+	}
+	x.stages = append(x.stages, StageStats{Name: name, Ns: x.e.TotalNs() - t0, Tuples: n})
+}
+
+// --- leaf -------------------------------------------------------------------
+
+// Table is a leaf node: data already resident in the vaults, one region
+// per vault.
+type Table struct {
+	Label   string
+	Regions []*engine.Region
+}
+
+// Name implements Node.
+func (t *Table) Name() string { return "table:" + t.Label }
+
+func (t *Table) exec(x *executor) ([]*engine.Region, error) {
+	if len(t.Regions) != x.e.NumVaults() {
+		return nil, fmt.Errorf("pipeline: table %q has %d regions for %d vaults",
+			t.Label, len(t.Regions), x.e.NumVaults())
+	}
+	return t.Regions, nil
+}
+
+// --- operators ----------------------------------------------------------------
+
+// Filter keeps tuples whose key equals Needle (LookupKey/Filter → Scan).
+type Filter struct {
+	In     Node
+	Needle tuple.Key
+}
+
+// Name implements Node.
+func (f *Filter) Name() string { return "filter" }
+
+func (f *Filter) exec(x *executor) ([]*engine.Region, error) {
+	in, err := f.In.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	t0 := x.e.TotalNs()
+	res, err := operators.Scan(x.e, x.cfg, in, f.Needle)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Materialize(x.e, res.Out)
+	if err != nil {
+		return nil, err
+	}
+	x.record("filter", t0, out)
+	return out, nil
+}
+
+// Join equi-joins two inputs on key (FK relationship expected from R to S).
+type Join struct {
+	R, S Node
+}
+
+// Name implements Node.
+func (j *Join) Name() string { return "join" }
+
+func (j *Join) exec(x *executor) ([]*engine.Region, error) {
+	rIn, err := j.R.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	sIn, err := j.S.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	t0 := x.e.TotalNs()
+	res, err := operators.Join(x.e, x.cfg, rIn, sIn)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Materialize(x.e, res.Out)
+	if err != nil {
+		return nil, err
+	}
+	x.record("join", t0, out)
+	return out, nil
+}
+
+// GroupBy aggregates the input by key (six aggregate tuples per group).
+type GroupBy struct {
+	In Node
+}
+
+// Name implements Node.
+func (g *GroupBy) Name() string { return "groupby" }
+
+func (g *GroupBy) exec(x *executor) ([]*engine.Region, error) {
+	in, err := g.In.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	t0 := x.e.TotalNs()
+	res, err := operators.GroupBy(x.e, x.cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	out, err := Materialize(x.e, res.Out)
+	if err != nil {
+		return nil, err
+	}
+	x.record("groupby", t0, out)
+	return out, nil
+}
+
+// Sort orders the input globally by key.
+type Sort struct {
+	In Node
+	// KeySpace optionally overrides the range partitioner's bound
+	// (0 = derive from the data).
+	KeySpace uint64
+}
+
+// Name implements Node.
+func (s *Sort) Name() string { return "sort" }
+
+func (s *Sort) exec(x *executor) ([]*engine.Region, error) {
+	in, err := s.In.exec(x)
+	if err != nil {
+		return nil, err
+	}
+	t0 := x.e.TotalNs()
+	cfg := x.cfg
+	cfg.KeySpace = s.KeySpace
+	res, err := operators.Sort(x.e, cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	// Sorted buckets are already per-bucket ordered; materializing must
+	// preserve order, so concatenate per vault in bucket order.
+	out, err := Materialize(x.e, res.Sorted)
+	if err != nil {
+		return nil, err
+	}
+	x.record("sort", t0, out)
+	return out, nil
+}
+
+// Materialize compacts arbitrary operator-output regions into the
+// canonical one-region-per-vault input layout. Data does not move between
+// vaults — each vault's fragments are concatenated locally (a streaming
+// read plus a sequential write, charged to the vault's unit).
+func Materialize(e *engine.Engine, outs []*engine.Region) ([]*engine.Region, error) {
+	nv := e.NumVaults()
+	byVault := make([][]*engine.Region, nv)
+	for _, r := range outs {
+		byVault[r.Vault.ID] = append(byVault[r.Vault.ID], r)
+	}
+	result := make([]*engine.Region, nv)
+	e.BeginStep(engine.StepProfile{Name: "materialize", DepIPC: 2, InstPerAccess: 4,
+		StreamFed: e.Config().UseStreams})
+	for v := 0; v < nv; v++ {
+		total := 0
+		for _, r := range byVault[v] {
+			total += r.Len()
+		}
+		dst, err := e.AllocOut(v, maxInt(total, 1))
+		if err != nil {
+			return nil, err
+		}
+		u := unitFor(e, v)
+		for _, r := range byVault[v] {
+			for i := 0; i < r.Len(); i++ {
+				t := u.LoadTuple(r, i)
+				u.Charge(2)
+				u.AppendLocal(dst, t)
+			}
+		}
+		result[v] = dst
+	}
+	e.EndStep()
+	return result, nil
+}
+
+// unitFor picks the unit that compacts vault v's fragments.
+func unitFor(e *engine.Engine, v int) *engine.Unit {
+	if e.Config().Arch == engine.CPU {
+		return e.Units()[v%len(e.Units())]
+	}
+	return e.UnitForVault(v)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

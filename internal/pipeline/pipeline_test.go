@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/cache"
+	"github.com/ecocloud-go/mondrian/internal/cores"
+	"github.com/ecocloud-go/mondrian/internal/dram"
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/operators"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+	"github.com/ecocloud-go/mondrian/internal/workload"
+)
+
+func testEngine(t *testing.T, arch engine.Arch) *engine.Engine {
+	t.Helper()
+	g := dram.HMCGeometry()
+	g.CapacityBytes = 16 << 20
+	cfg := engine.Config{
+		Cubes: 2, VaultsPer: 4,
+		Geometry: g, Timing: dram.HMCTiming(),
+		ObjectSize: tuple.Size, BarrierNs: 1000,
+		Topology: noc.FullyConnected,
+	}
+	switch arch {
+	case engine.CPU:
+		cfg.Arch = engine.CPU
+		cfg.Core = cores.CortexA57()
+		cfg.CPUCores = 4
+		cfg.Topology = noc.Star
+		cfg.L1 = cache.L1D32K()
+		cfg.LLC = cache.LLC4M()
+	case engine.NMP:
+		cfg.Arch = engine.NMP
+		cfg.Core = cores.Krait400()
+		cfg.L1 = cache.L1D32K()
+	case engine.Mondrian:
+		cfg.Arch = engine.Mondrian
+		cfg.Core = cores.CortexA35Mondrian()
+		cfg.Permutable = true
+		cfg.UseStreams = true
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func opCfg(arch engine.Arch) operators.Config {
+	cfg := operators.Config{Costs: operators.DefaultCosts(), KeySpace: 1 << 16, CPUBuckets: 256}
+	if arch == engine.Mondrian {
+		cfg.Costs = operators.MondrianCosts()
+		cfg.SortProbe = true
+	}
+	return cfg
+}
+
+func table(t *testing.T, e *engine.Engine, label string, rel *tuple.Relation) *Table {
+	t.Helper()
+	parts := rel.SplitEven(e.NumVaults())
+	regions := make([]*engine.Region, len(parts))
+	for v, p := range parts {
+		r, err := e.Place(v, p.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions[v] = r
+	}
+	return &Table{Label: label, Regions: regions}
+}
+
+func TestJoinThenGroupBy(t *testing.T) {
+	rRel, sRel := workload.FKPair(workload.Config{Seed: 3, Tuples: 4000}, 500)
+	joined := operators.RefJoin(rRel.Tuples, sRel.Tuples)
+	want := operators.RefGroupByTuples(joined)
+
+	for _, arch := range []engine.Arch{engine.CPU, engine.NMP, engine.Mondrian} {
+		t.Run(arch.String(), func(t *testing.T) {
+			e := testEngine(t, arch)
+			plan := &GroupBy{In: &Join{
+				R: table(t, e, "R", rRel),
+				S: table(t, e, "S", sRel),
+			}}
+			res, err := Run(e, opCfg(arch), plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !tuple.SameMultiset(res.Tuples(), want) {
+				t.Fatal("join→groupby output mismatch")
+			}
+			if len(res.Stages) != 2 {
+				t.Fatalf("stages = %d", len(res.Stages))
+			}
+			if res.Ns() <= 0 {
+				t.Fatal("no pipeline time")
+			}
+		})
+	}
+}
+
+func TestFilterThenSort(t *testing.T) {
+	rel := workload.Uniform("in", workload.Config{Seed: 5, Tuples: 5000, KeySpace: 64})
+	needle, count := workload.ScanTarget(rel, 7)
+	e := testEngine(t, engine.Mondrian)
+	plan := &Sort{In: &Filter{In: table(t, e, "in", rel), Needle: needle}}
+	res, err := Run(e, opCfg(engine.Mondrian), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Tuples()
+	if len(got) != count {
+		t.Fatalf("filtered %d tuples, want %d", len(got), count)
+	}
+	for _, tp := range got {
+		if tp.Key != needle {
+			t.Fatalf("foreign key %d survived the filter", tp.Key)
+		}
+	}
+}
+
+func TestSortPipelinePreservesMultiset(t *testing.T) {
+	rel := workload.Uniform("in", workload.Config{Seed: 9, Tuples: 6000, KeySpace: 1 << 16})
+	e := testEngine(t, engine.NMP)
+	res, err := Run(e, opCfg(engine.NMP), &Sort{In: table(t, e, "in", rel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tuple.SameMultiset(res.Tuples(), rel.Tuples) {
+		t.Fatal("sort pipeline changed the multiset")
+	}
+	// On vault-partitioned systems the materialized layout is globally
+	// ordered: vault v holds range bucket v.
+	var last tuple.Key
+	for _, r := range res.Out {
+		for i, tp := range r.Tuples {
+			if tp.Key < last {
+				t.Fatalf("global order broken at vault %d index %d", r.Vault.ID, i)
+			}
+			last = tp.Key
+		}
+	}
+}
+
+func TestTableShapeValidation(t *testing.T) {
+	e := testEngine(t, engine.NMP)
+	bad := &Table{Label: "bad", Regions: nil}
+	if _, err := Run(e, opCfg(engine.NMP), bad); err == nil {
+		t.Fatal("mis-shaped table accepted")
+	}
+}
+
+func TestMaterializeCompactsLocally(t *testing.T) {
+	e := testEngine(t, engine.NMP)
+	// Two fragments in vault 0, one in vault 3.
+	a, _ := e.Place(0, workload.Sequential("a", 10).Tuples)
+	b, _ := e.Place(0, workload.Sequential("b", 5).Tuples)
+	c, _ := e.Place(3, workload.Sequential("c", 7).Tuples)
+	out, err := Materialize(e, []*engine.Region{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != e.NumVaults() {
+		t.Fatalf("out regions = %d", len(out))
+	}
+	if out[0].Len() != 15 || out[3].Len() != 7 || out[1].Len() != 0 {
+		t.Fatalf("lengths: %d %d %d", out[0].Len(), out[3].Len(), out[1].Len())
+	}
+	// Fragments stay in their vault.
+	if out[0].Vault.ID != 0 || out[3].Vault.ID != 3 {
+		t.Fatal("materialize moved data between vaults")
+	}
+	var all []tuple.Tuple
+	all = append(all, a.Tuples...)
+	all = append(all, b.Tuples...)
+	all = append(all, c.Tuples...)
+	var got []tuple.Tuple
+	for _, r := range out {
+		got = append(got, r.Tuples...)
+	}
+	if !tuple.SameMultiset(all, got) {
+		t.Fatal("materialize lost tuples")
+	}
+}
+
+func TestNodeNames(t *testing.T) {
+	n := &GroupBy{In: &Join{R: &Table{Label: "r"}, S: &Table{Label: "s"}}}
+	if n.Name() != "groupby" || n.In.Name() != "join" {
+		t.Fatal("node names wrong")
+	}
+	if (&Filter{}).Name() != "filter" || (&Sort{}).Name() != "sort" {
+		t.Fatal("node names wrong")
+	}
+	if (&Table{Label: "x"}).Name() != "table:x" {
+		t.Fatal("table name wrong")
+	}
+}

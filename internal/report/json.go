@@ -1,0 +1,118 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+// JSON export of the full evaluation, for plotting pipelines and
+// regression tracking. Enum keys are rendered as their display names.
+
+// JSONTable5Row is one Table 5 row.
+type JSONTable5Row struct {
+	System        string  `json:"system"`
+	SpeedupVsCPU  float64 `json:"speedup_vs_cpu"`
+	PaperSpeedup  float64 `json:"paper_speedup"`
+	DistBWGBs     float64 `json:"dist_bw_gbs_per_vault"`
+	PaperDistBWGB float64 `json:"paper_dist_bw_gbs"`
+}
+
+// JSONSeries is one figure series (per-operator values for one system).
+type JSONSeries struct {
+	System string             `json:"system"`
+	Values map[string]float64 `json:"values"`
+}
+
+// JSONFig8Entry is one energy breakdown.
+type JSONFig8Entry struct {
+	System    string             `json:"system"`
+	Operator  string             `json:"operator"`
+	Fractions map[string]float64 `json:"fractions"`
+	TotalJ    float64            `json:"total_j"`
+}
+
+// JSONReport bundles every regenerated artifact.
+type JSONReport struct {
+	Table5 []JSONTable5Row `json:"table5"`
+	Fig6   []JSONSeries    `json:"fig6_probe_speedup"`
+	Fig7   []JSONSeries    `json:"fig7_overall_speedup"`
+	Fig8   []JSONFig8Entry `json:"fig8_energy_breakdown"`
+	Fig9   []JSONSeries    `json:"fig9_efficiency"`
+}
+
+func toSeries(in []simulate.FigSeries) []JSONSeries {
+	out := make([]JSONSeries, 0, len(in))
+	for _, s := range in {
+		vals := make(map[string]float64, len(s.Speedups))
+		for op, v := range s.Speedups {
+			vals[op.String()] = v
+		}
+		out = append(out, JSONSeries{System: s.System.String(), Values: vals})
+	}
+	return out
+}
+
+// BuildJSON regenerates every artifact through the suite.
+func BuildJSON(su *simulate.Suite) (*JSONReport, error) {
+	rep := &JSONReport{}
+	rows, err := su.Table5()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		rep.Table5 = append(rep.Table5, JSONTable5Row{
+			System:        r.System.String(),
+			SpeedupVsCPU:  r.SpeedupVsCPU,
+			PaperSpeedup:  PaperTable5[r.System],
+			DistBWGBs:     r.DistBWPerVaultGBs,
+			PaperDistBWGB: PaperDistBW[r.System],
+		})
+	}
+	if s, err := su.Fig6(); err != nil {
+		return nil, err
+	} else {
+		rep.Fig6 = toSeries(s)
+	}
+	if s, err := su.Fig7(); err != nil {
+		return nil, err
+	} else {
+		rep.Fig7 = toSeries(s)
+	}
+	entries, err := su.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		f := e.Breakdown.Fractions()
+		rep.Fig8 = append(rep.Fig8, JSONFig8Entry{
+			System:   e.System.String(),
+			Operator: e.Operator.String(),
+			Fractions: map[string]float64{
+				"dram_dynamic": f[0],
+				"dram_static":  f[1],
+				"cores":        f[2],
+				"serdes_noc":   f[3],
+			},
+			TotalJ: e.Breakdown.Total(),
+		})
+	}
+	if s, err := su.Fig9(); err != nil {
+		return nil, err
+	} else {
+		rep.Fig9 = toSeries(s)
+	}
+	return rep, nil
+}
+
+// WriteJSON regenerates every artifact and writes it as indented JSON.
+func WriteJSON(w io.Writer, su *simulate.Suite) error {
+	rep, err := BuildJSON(su)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+func TestBuildJSONAndWriteJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full artifact build in -short mode")
+	}
+	su := simulate.NewSuite(simulate.TestParams())
+	rep, err := BuildJSON(su)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table5) != 4 {
+		t.Fatalf("table5 rows = %d", len(rep.Table5))
+	}
+	if len(rep.Fig6) != 3 || len(rep.Fig7) != 3 || len(rep.Fig9) != 3 {
+		t.Fatalf("series counts: %d %d %d", len(rep.Fig6), len(rep.Fig7), len(rep.Fig9))
+	}
+	if len(rep.Fig8) != 16 {
+		t.Fatalf("fig8 entries = %d", len(rep.Fig8))
+	}
+	for _, e := range rep.Fig8 {
+		sum := 0.0
+		for _, f := range e.Fractions {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s/%s fractions sum %v", e.System, e.Operator, sum)
+		}
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, su); err != nil {
+		t.Fatal(err)
+	}
+	// The emitted document must round-trip.
+	var back JSONReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(back.Table5) != 4 || back.Table5[0].System != "NMP" {
+		t.Fatalf("round-tripped table5: %+v", back.Table5)
+	}
+	for _, s := range back.Fig6 {
+		if _, ok := s.Values["Join"]; !ok {
+			t.Fatalf("series %s missing Join", s.System)
+		}
+	}
+}

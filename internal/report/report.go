@@ -1,0 +1,106 @@
+// Package report renders the reproduction's tables and figures as text:
+// aligned ASCII tables for the paper's tables and log-scale bar charts for
+// its figures, each annotated with the published value where one exists.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+// PaperTable5 holds the published partition speedups (Table 5).
+var PaperTable5 = map[simulate.System]float64{
+	simulate.NMP:            58,
+	simulate.NMPPerm:        98,
+	simulate.MondrianNoPerm: 142,
+	simulate.Mondrian:       273,
+}
+
+// PaperDistBW holds the published per-vault distribution bandwidths (§7.1).
+var PaperDistBW = map[simulate.System]float64{
+	simulate.NMP:            1.0,
+	simulate.NMPPerm:        1.6,
+	simulate.MondrianNoPerm: 2.4,
+	simulate.Mondrian:       4.5,
+}
+
+// WriteTable5 renders the partition-speedup table.
+func WriteTable5(w io.Writer, rows []simulate.Table5Row) {
+	fmt.Fprintln(w, "Table 5: partition-phase speedup vs CPU (Join)")
+	fmt.Fprintf(w, "  %-16s %12s %12s %14s %16s\n",
+		"System", "measured", "paper", "BW GB/s/vault", "paper BW GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %11.1fx %11.0fx %14.2f %16.1f\n",
+			r.System, r.SpeedupVsCPU, PaperTable5[r.System],
+			r.DistBWPerVaultGBs, PaperDistBW[r.System])
+	}
+	fmt.Fprintln(w)
+}
+
+// bar renders a log-scale bar for a speedup value (1 → empty, 100 → full).
+func bar(v float64, width int) string {
+	if v <= 1 {
+		return ""
+	}
+	frac := math.Log10(v) / 2 // full bar at 100×
+	if frac > 1 {
+		frac = 1
+	}
+	return strings.Repeat("█", int(frac*float64(width)+0.5))
+}
+
+// WriteFig renders a per-operator grouped bar figure (log scale).
+func WriteFig(w io.Writer, title string, series []simulate.FigSeries) {
+	fmt.Fprintln(w, title)
+	for _, op := range simulate.Operators() {
+		fmt.Fprintf(w, "  %s\n", op)
+		for _, s := range series {
+			v := s.Speedups[op]
+			fmt.Fprintf(w, "    %-16s %8.1fx %s\n", s.System, v, bar(v, 40))
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFig8 renders the energy-breakdown figure as stacked percentages.
+func WriteFig8(w io.Writer, entries []simulate.Fig8Entry) {
+	fmt.Fprintln(w, "Figure 8: energy breakdown (fractions of total)")
+	fmt.Fprintf(w, "  %-10s %-16s %9s %10s %8s %12s %12s\n",
+		"Operator", "System", "DRAM dyn", "DRAM stat", "cores", "SerDes+NOC", "total J")
+	for _, e := range entries {
+		f := e.Breakdown.Fractions()
+		fmt.Fprintf(w, "  %-10s %-16s %8.0f%% %9.0f%% %7.0f%% %11.0f%% %12.3g\n",
+			e.Operator, e.System, f[0]*100, f[1]*100, f[2]*100, f[3]*100, e.Breakdown.Total())
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteParams prints the simulation parameters (Tables 3 and 4).
+func WriteParams(w io.Writer, p simulate.Params) {
+	fmt.Fprintln(w, "Table 3: system parameters")
+	fmt.Fprintf(w, "  HMC: %d cubes × %d vaults, %d MB/vault, 256 B rows, 8 GB/s/vault\n",
+		p.Cubes, p.VaultsPer, p.VaultCapBytes>>20)
+	fmt.Fprintf(w, "  CPU: %d× Cortex-A57 2 GHz OoO (3-wide, 128 ROB), 32 KB L1d, 4 MB LLC, star SerDes\n", p.CPUCores)
+	fmt.Fprintf(w, "  NMP: %d× Krait400 1 GHz OoO (3-wide, 48 ROB), L1 as CPU, fully connected\n", p.Cubes*p.VaultsPer)
+	fmt.Fprintf(w, "  Mondrian: %d× Cortex-A35 1 GHz in-order dual-issue, 1024-bit SIMD, 8×384 B stream buffers\n",
+		p.Cubes*p.VaultsPer)
+	fmt.Fprintf(w, "  DRAM timing (ns): tCK 1.6, tRAS 22.4, tRCD 11.2, tCAS 11.2, tWR 14.4, tRP 11.2\n")
+	fmt.Fprintf(w, "  Workload: |S| = %d tuples, |R| = %d tuples, 16 B tuples, uniform keys < %d\n",
+		p.STuples, p.RTuples, p.KeySpace)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table 4: power and energy of system components")
+	e := p.Energy
+	fmt.Fprintf(w, "  CPU core %.1f W, NMP core %.0f mW, Mondrian core %.0f mW\n",
+		e.CPUCoreW, e.NMPCoreW*1000, e.MondrianCoreW*1000)
+	fmt.Fprintf(w, "  LLC access %.2f nJ, leakage %.0f mW; NoC %.2f pJ/bit/mm, leakage %.0f mW\n",
+		e.LLCAccessJ*1e9, e.LLCLeakW*1000, e.NoCPerBitMMJ*1e12, e.NoCLeakW*1000)
+	fmt.Fprintf(w, "  HMC background %.0f mW/cube, activation %.2f nJ, access %.0f pJ/bit\n",
+		e.HMCBackgroundW*1000, e.ActivationJ*1e9, e.AccessJPerBit*1e12)
+	fmt.Fprintf(w, "  SerDes idle %.0f pJ/bit, busy %.0f pJ/bit\n",
+		e.SerDesIdleJPerBit*1e12, e.SerDesBusyJPerBit*1e12)
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,95 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/energy"
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+func TestWriteTable5(t *testing.T) {
+	rows := []simulate.Table5Row{
+		{System: simulate.NMP, SpeedupVsCPU: 51.7, DistBWPerVaultGBs: 1.5},
+		{System: simulate.Mondrian, SpeedupVsCPU: 241.9, DistBWPerVaultGBs: 7.9},
+	}
+	var b strings.Builder
+	WriteTable5(&b, rows)
+	out := b.String()
+	for _, want := range []string{"Table 5", "NMP", "Mondrian", "51.7x", "241.9x", "58x", "273x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFig(t *testing.T) {
+	series := []simulate.FigSeries{
+		{System: simulate.NMPRand, Speedups: map[simulate.Operator]float64{
+			simulate.OpScan: 2.4, simulate.OpSort: 3, simulate.OpGroupBy: 4, simulate.OpJoin: 5,
+		}},
+	}
+	var b strings.Builder
+	WriteFig(&b, "Figure 6: test", series)
+	out := b.String()
+	for _, want := range []string{"Figure 6", "Scan", "Join", "NMP-rand", "2.4x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteFig8(t *testing.T) {
+	entries := []simulate.Fig8Entry{{
+		System:   simulate.CPU,
+		Operator: simulate.OpJoin,
+		Breakdown: energy.Breakdown{
+			DRAMDynamic: 1, DRAMStatic: 1, Cores: 7, Network: 1,
+		},
+	}}
+	var b strings.Builder
+	WriteFig8(&b, entries)
+	out := b.String()
+	if !strings.Contains(out, "70%") {
+		t.Errorf("cores fraction missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Join") || !strings.Contains(out, "CPU") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+}
+
+func TestWriteParams(t *testing.T) {
+	var b strings.Builder
+	WriteParams(&b, simulate.DefaultParams())
+	out := b.String()
+	for _, want := range []string{
+		"Table 3", "Table 4", "Cortex-A57", "Krait400", "Cortex-A35",
+		"1024-bit SIMD", "0.65 nJ", "2 pJ/bit", "tRCD 11.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("params missing %q", want)
+		}
+	}
+}
+
+func TestBarLogScale(t *testing.T) {
+	if bar(1, 40) != "" {
+		t.Error("1x should have an empty bar")
+	}
+	ten, hundred := len([]rune(bar(10, 40))), len([]rune(bar(100, 40)))
+	if ten != 20 || hundred != 40 {
+		t.Errorf("log bars: 10x=%d 100x=%d, want 20 and 40", ten, hundred)
+	}
+	if len([]rune(bar(1000, 40))) != 40 {
+		t.Error("bars must clamp at full width")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	if PaperTable5[simulate.Mondrian] != 273 || PaperTable5[simulate.NMP] != 58 {
+		t.Error("published Table 5 values wrong")
+	}
+	if PaperDistBW[simulate.Mondrian] != 4.5 {
+		t.Error("published bandwidth values wrong")
+	}
+}

@@ -1,0 +1,101 @@
+package simulate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunSampledValidation(t *testing.T) {
+	p := TestParams()
+	if _, err := RunSampled(NMP, OpScan, p, 0); err == nil {
+		t.Fatal("rate 0 accepted")
+	}
+	if _, err := RunSampled(NMP, OpScan, p, 1.5); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestRunSampledFullRateMatchesRun(t *testing.T) {
+	p := TestParams()
+	full, err := Run(NMP, OpScan, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunSampled(NMP, OpScan, p, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled.Result.TotalNs-full.TotalNs) > full.TotalNs*1e-9 {
+		t.Fatalf("rate 1 run differs: %v vs %v", sampled.Result.TotalNs, full.TotalNs)
+	}
+	if sampled.Rate != 1 {
+		t.Fatalf("rate = %v", sampled.Rate)
+	}
+}
+
+func TestRunSampledExtrapolatesScan(t *testing.T) {
+	// Scan is embarrassingly scale-linear: a quarter-rate sample must
+	// extrapolate to within a few percent of the full run.
+	p := TestParams()
+	p.STuples = 1 << 16
+	full, err := Run(NMP, OpScan, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunSampled(NMP, OpScan, p, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sampled.Result.TotalNs / full.TotalNs
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("scan extrapolation off by %.2f×", ratio)
+	}
+	if sampled.SampledSTuples >= p.STuples {
+		t.Fatal("sample did not shrink the dataset")
+	}
+	// Activity counters must extrapolate to the full-run magnitudes.
+	actRatio := float64(sampled.Result.DRAM.ReadBytes) / float64(full.DRAM.ReadBytes)
+	if actRatio < 0.8 || actRatio > 1.2 {
+		t.Fatalf("read-byte extrapolation off by %.2f×", actRatio)
+	}
+}
+
+func TestRunSampledJoinWithinTolerance(t *testing.T) {
+	// Join mixes linear and log-factor phases; the documented contract
+	// is a rough estimate — assert it lands within 2×.
+	p := TestParams()
+	full, err := Run(Mondrian, OpJoin, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := RunSampled(Mondrian, OpJoin, p, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := sampled.Result.TotalNs / full.TotalNs
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("join extrapolation off by %.2f×", ratio)
+	}
+}
+
+func TestSampledSpeedupDirection(t *testing.T) {
+	p := TestParams()
+	s, err := SampledSpeedup(CPU, Mondrian, OpJoin, p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 1 {
+		t.Fatalf("sampled speedup %v should exceed 1", s)
+	}
+}
+
+func TestRunSampledClampsTinyRates(t *testing.T) {
+	p := TestParams()
+	sampled, err := RunSampled(NMP, OpScan, p, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.SampledSTuples < 1024 {
+		t.Fatalf("sample size %d below floor", sampled.SampledSTuples)
+	}
+}

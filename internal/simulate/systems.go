@@ -1,0 +1,205 @@
+// Package simulate assembles the paper's evaluated systems and runs the
+// operator experiments that regenerate every table and figure of §7.
+//
+// Evaluated configurations (§6 "Evaluated configurations"):
+//
+//	CPU             — CPU-centric baseline (radix hash algorithms)
+//	NMP             — NMP baseline, conventional partitioning, hash probe
+//	NMP-perm        — NMP cores + permutable partitioning, hash probe
+//	NMP-rand        — NMP probe with the hash (random-access) algorithms
+//	NMP-seq         — NMP probe with the sort (sequential) algorithms
+//	Mondrian-noperm — Mondrian SIMD units without permutability
+//	Mondrian        — the full co-design
+package simulate
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/cache"
+	"github.com/ecocloud-go/mondrian/internal/cores"
+	"github.com/ecocloud-go/mondrian/internal/dram"
+	"github.com/ecocloud-go/mondrian/internal/energy"
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/operators"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// System identifies one evaluated configuration.
+type System int
+
+// The evaluated systems.
+const (
+	CPU System = iota
+	NMP
+	NMPPerm
+	NMPRand
+	NMPSeq
+	MondrianNoPerm
+	Mondrian
+	numSystems
+)
+
+// Systems lists every configuration.
+func Systems() []System {
+	out := make([]System, numSystems)
+	for i := range out {
+		out[i] = System(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s System) String() string {
+	switch s {
+	case CPU:
+		return "CPU"
+	case NMP:
+		return "NMP"
+	case NMPPerm:
+		return "NMP-perm"
+	case NMPRand:
+		return "NMP-rand"
+	case NMPSeq:
+		return "NMP-seq"
+	case MondrianNoPerm:
+		return "Mondrian-noperm"
+	case Mondrian:
+		return "Mondrian"
+	default:
+		return fmt.Sprintf("System(%d)", int(s))
+	}
+}
+
+// Params fixes the experimental setup (Table 3 scaled to the simulation
+// budget: speedups are ratios and the model is scale-invariant, so the
+// dataset is a configurable fraction of the paper's 32 GB).
+type Params struct {
+	Cubes     int
+	VaultsPer int
+	CPUCores  int
+	// VaultCapBytes sizes each vault's DRAM (the real HMC vault is
+	// 512 MB; experiments allocate datasets plus scratch within it).
+	VaultCapBytes int64
+	// STuples is the large-relation cardinality (also the Scan/Sort/
+	// Group-by input size); RTuples the small join relation.
+	STuples, RTuples int
+	// GroupSize is the Group-by average group size (4 in the paper).
+	GroupSize int
+	// KeySpace bounds keys; must be a power of two for range math.
+	KeySpace uint64
+	// CPUBuckets is the CPU's radix partition count. The paper's CPU
+	// code hashes the keys' 16 low-order bits (2^16 partitions)
+	// regardless of dataset size; 0 selects cache-targeted auto-sizing.
+	CPUBuckets int
+	Seed       int64
+	// BarrierNs is the all-to-all notification cost (§5.4).
+	BarrierNs float64
+	// Energy holds the Table 4 constants.
+	Energy energy.Params
+}
+
+// DefaultParams returns the paper's system shape (4 cubes × 16 vaults,
+// 16 CPU cores) with a laptop-scale dataset.
+func DefaultParams() Params {
+	return Params{
+		Cubes:         4,
+		VaultsPer:     16,
+		CPUCores:      16,
+		VaultCapBytes: 64 << 20,
+		STuples:       1 << 19, // 512Ki tuples = 8 MB
+		RTuples:       1 << 18,
+		GroupSize:     4,
+		KeySpace:      1 << 24,
+		Seed:          42,
+		CPUBuckets:    1 << 16,
+		BarrierNs:     2000,
+		Energy:        energy.DefaultParams(),
+	}
+}
+
+// TestParams returns a shrunken setup for fast tests.
+func TestParams() Params {
+	p := DefaultParams()
+	p.Cubes = 2
+	p.VaultsPer = 4
+	p.CPUCores = 4
+	p.VaultCapBytes = 32 << 20
+	// Large enough that the per-vault hash tables exceed the L1 caches
+	// (the regime every probe-phase comparison of §7 lives in), small
+	// enough for sub-second runs.
+	p.STuples = 1 << 16
+	p.RTuples = 1 << 15
+	p.KeySpace = 1 << 20
+	p.CPUBuckets = 1 << 12
+	return p
+}
+
+// geometry derives the per-vault DRAM geometry.
+func (p Params) geometry() dram.Geometry {
+	g := dram.HMCGeometry()
+	g.CapacityBytes = p.VaultCapBytes
+	return g
+}
+
+// EngineConfig builds the engine configuration for a system.
+func (p Params) EngineConfig(s System) engine.Config {
+	base := engine.Config{
+		Cubes:      p.Cubes,
+		VaultsPer:  p.VaultsPer,
+		Geometry:   p.geometry(),
+		Timing:     dram.HMCTiming(),
+		ObjectSize: tuple.Size,
+		BarrierNs:  p.BarrierNs,
+	}
+	switch s {
+	case CPU:
+		base.Arch = engine.CPU
+		base.Core = cores.CortexA57()
+		base.CPUCores = p.CPUCores
+		base.Topology = noc.Star
+		base.L1 = cache.L1D32K()
+		base.LLC = cache.LLC4M()
+	case NMP, NMPRand, NMPSeq:
+		base.Arch = engine.NMP
+		base.Core = cores.Krait400()
+		base.Topology = noc.FullyConnected
+		base.L1 = cache.L1D32K()
+	case NMPPerm:
+		base.Arch = engine.NMP
+		base.Core = cores.Krait400()
+		base.Topology = noc.FullyConnected
+		base.L1 = cache.L1D32K()
+		base.Permutable = true
+	case MondrianNoPerm:
+		base.Arch = engine.Mondrian
+		base.Core = cores.CortexA35Mondrian()
+		base.Topology = noc.FullyConnected
+		base.UseStreams = true
+	case Mondrian:
+		base.Arch = engine.Mondrian
+		base.Core = cores.CortexA35Mondrian()
+		base.Topology = noc.FullyConnected
+		base.Permutable = true
+		base.UseStreams = true
+	default:
+		panic(fmt.Sprintf("simulate: unknown system %v", s))
+	}
+	return base
+}
+
+// OperatorConfig builds the operator configuration for a system: the CPU
+// and NMP-rand run the hash algorithms, NMP-seq and the Mondrian variants
+// the sort-based ones (§6).
+func (p Params) OperatorConfig(s System) operators.Config {
+	cfg := operators.Config{Costs: operators.DefaultCosts(), KeySpace: p.KeySpace,
+		CPUBuckets: p.CPUBuckets}
+	switch s {
+	case NMPSeq:
+		cfg.SortProbe = true
+	case Mondrian, MondrianNoPerm:
+		cfg.Costs = operators.MondrianCosts()
+		cfg.SortProbe = true
+	}
+	return cfg
+}

@@ -1,0 +1,201 @@
+// Package trace captures and analyzes the simulated memory-access streams
+// of the engine. The paper's whole argument is about access *patterns* —
+// sequential streams amortize row activations, interleaved shuffles do
+// not — and trace makes those patterns inspectable: record a run, then
+// quantify row locality, sequentiality and per-unit behaviour, or export
+// the stream for external tools.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+)
+
+// Event is one recorded memory access.
+type Event struct {
+	Seq   int
+	Unit  int
+	Kind  engine.AccessKind
+	Addr  int64
+	Size  int
+	Write bool
+}
+
+// Recorder captures engine accesses. It implements engine.Tracer. A zero
+// Recorder records everything; set Limit to bound memory.
+type Recorder struct {
+	// Limit caps recorded events (0 = unlimited). Once reached, further
+	// events are counted but not stored.
+	Limit int
+	// KindFilter, when non-nil, records only the listed kinds.
+	KindFilter map[engine.AccessKind]bool
+
+	events  []Event
+	dropped int
+	seq     int
+}
+
+// Access implements engine.Tracer.
+func (r *Recorder) Access(unit int, kind engine.AccessKind, addr int64, size int, write bool) {
+	r.seq++
+	if r.KindFilter != nil && !r.KindFilter[kind] {
+		return
+	}
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: r.seq, Unit: unit, Kind: kind, Addr: addr, Size: size, Write: write,
+	})
+}
+
+// Events returns the recorded stream.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped returns how many events exceeded Limit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Reset clears the recorder.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+	r.seq = 0
+}
+
+// Stats summarizes an access stream.
+type Stats struct {
+	Events int
+	Reads  int
+	Writes int
+	Bytes  int64
+	Units  int
+	// RowsTouched is the number of distinct DRAM rows visited.
+	RowsTouched int
+	// RowSwitches counts consecutive event pairs that change row — the
+	// row-buffer pressure a single-bank in-order service would see.
+	RowSwitches int
+	// SeqRatio is the fraction of consecutive event pairs whose
+	// addresses are exactly adjacent (perfectly sequential stream = 1).
+	SeqRatio float64
+	// MeanRunLen is the average length (in events) of maximal
+	// address-adjacent runs.
+	MeanRunLen float64
+}
+
+// Analyze computes summary statistics for an event stream with the given
+// DRAM row size.
+func Analyze(events []Event, rowBytes int) Stats {
+	var s Stats
+	s.Events = len(events)
+	if len(events) == 0 {
+		return s
+	}
+	rows := make(map[int64]bool)
+	units := make(map[int]bool)
+	adjacent := 0
+	runs := 1
+	var prevEnd int64
+	var prevRow int64 = -1
+	for i, e := range events {
+		if e.Write {
+			s.Writes++
+		} else {
+			s.Reads++
+		}
+		s.Bytes += int64(e.Size)
+		units[e.Unit] = true
+		row := e.Addr / int64(rowBytes)
+		rows[row] = true
+		if i > 0 {
+			if e.Addr == prevEnd {
+				adjacent++
+			} else {
+				runs++
+			}
+			if row != prevRow {
+				s.RowSwitches++
+			}
+		}
+		prevEnd = e.Addr + int64(e.Size)
+		prevRow = row
+	}
+	s.Units = len(units)
+	s.RowsTouched = len(rows)
+	if len(events) > 1 {
+		s.SeqRatio = float64(adjacent) / float64(len(events)-1)
+	}
+	s.MeanRunLen = float64(len(events)) / float64(runs)
+	return s
+}
+
+// PerUnit splits a stream by unit and analyzes each; keys are unit IDs.
+func PerUnit(events []Event, rowBytes int) map[int]Stats {
+	byUnit := make(map[int][]Event)
+	for _, e := range events {
+		byUnit[e.Unit] = append(byUnit[e.Unit], e)
+	}
+	out := make(map[int]Stats, len(byUnit))
+	for u, evs := range byUnit {
+		out[u] = Analyze(evs, rowBytes)
+	}
+	return out
+}
+
+// Filter returns the events matching the predicate.
+func Filter(events []Event, keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RowHistogram counts accesses per DRAM row, sorted by row address.
+type RowCount struct {
+	Row   int64
+	Count int
+}
+
+// RowHistogram computes per-row access counts.
+func RowHistogram(events []Event, rowBytes int) []RowCount {
+	counts := make(map[int64]int)
+	for _, e := range events {
+		counts[e.Addr/int64(rowBytes)]++
+	}
+	out := make([]RowCount, 0, len(counts))
+	for row, c := range counts {
+		out = append(out, RowCount{Row: row, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Row < out[j].Row })
+	return out
+}
+
+// WriteCSV streams events as "seq,unit,kind,addr,size,write" rows.
+func WriteCSV(w io.Writer, events []Event) error {
+	if _, err := fmt.Fprintln(w, "seq,unit,kind,addr,size,write"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		wr := 0
+		if e.Write {
+			wr = 1
+		}
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d\n",
+			e.Seq, e.Unit, int(e.Kind), e.Addr, e.Size, wr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders stats for logs.
+func (s Stats) Summary() string {
+	return fmt.Sprintf("%d events (%d units, %d B), rows %d, row switches %d, seq %.0f%%, mean run %.1f",
+		s.Events, s.Units, s.Bytes, s.RowsTouched, s.RowSwitches, s.SeqRatio*100, s.MeanRunLen)
+}

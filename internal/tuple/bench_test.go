@@ -1,0 +1,24 @@
+package tuple
+
+import "testing"
+
+func BenchmarkDigestAdd(b *testing.B) {
+	var d Digest
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Add(Tuple{Key: Key(i), Val: Value(i)})
+	}
+}
+
+func BenchmarkSameMultiset(b *testing.B) {
+	ts := make([]Tuple, 4096)
+	for i := range ts {
+		ts[i] = Tuple{Key: Key(i), Val: Value(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !SameMultiset(ts, ts) {
+			b.Fatal("mismatch")
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package mondrian_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	mondrian "github.com/ecocloud-go/mondrian"
+)
+
+// place distributes a relation evenly across an engine's vaults.
+func place(t *testing.T, e *mondrian.Engine, rel *mondrian.Relation) []*mondrian.Region {
+	t.Helper()
+	parts := rel.SplitEven(e.NumVaults())
+	regions := make([]*mondrian.Region, len(parts))
+	for v, p := range parts {
+		r, err := e.Place(v, p.Tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions[v] = r
+	}
+	return regions
+}
+
+func TestPublicRunExperiment(t *testing.T) {
+	p := mondrian.TestParams()
+	res, err := mondrian.RunExperiment(mondrian.SystemMondrian, mondrian.OperatorScan, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.TotalNs <= 0 || res.Energy.Total() <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestPublicEngineAndOperators(t *testing.T) {
+	p := mondrian.TestParams()
+	e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemMondrian))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 1, Tuples: 4000}, 4)
+	res, err := mondrian.GroupBy(e, p.OperatorConfig(mondrian.SystemMondrian), place(t, e, rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mondrian.RefGroupBy(rel.Tuples)
+	if res.Groups != len(want) {
+		t.Fatalf("groups = %d, want %d", res.Groups, len(want))
+	}
+}
+
+func TestPublicOverflowRetry(t *testing.T) {
+	p := mondrian.TestParams()
+	skewed := mondrian.ZipfRelation("z", mondrian.WorkloadConfig{Seed: 2, Tuples: 8000, KeySpace: 1 << 20}, 1.6)
+	run := func(over float64) error {
+		e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemMondrian))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := p.OperatorConfig(mondrian.SystemMondrian)
+		cfg.Overprovision = over
+		_, err = mondrian.GroupBy(e, cfg, place(t, e, skewed))
+		return err
+	}
+	err := run(2)
+	if !errors.Is(err, mondrian.ErrPartitionOverflow) {
+		t.Fatalf("skewed run error = %v, want overflow", err)
+	}
+	if err := run(64); err != nil {
+		t.Fatalf("overprovisioned retry failed: %v", err)
+	}
+}
+
+func TestPublicTraceCapture(t *testing.T) {
+	p := mondrian.TestParams()
+	e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemNMP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &mondrian.TraceRecorder{Limit: 10000}
+	e.SetTracer(rec)
+	rel := mondrian.UniformRelation("r", mondrian.WorkloadConfig{Seed: 3, Tuples: 2000})
+	needle, _ := mondrian.ScanNeedle(rel, 4)
+	if _, err := mondrian.Scan(e, p.OperatorConfig(mondrian.SystemNMP), place(t, e, rel), needle); err != nil {
+		t.Fatal(err)
+	}
+	stats := mondrian.AnalyzeTrace(rec.Events(), 256)
+	if stats.Events == 0 {
+		t.Fatal("no events captured")
+	}
+	if stats.SeqRatio < 0.9 {
+		t.Fatalf("scan trace should be sequential: %.2f", stats.SeqRatio)
+	}
+}
+
+func TestPublicReportRendering(t *testing.T) {
+	var b strings.Builder
+	mondrian.WriteParams(&b, mondrian.DefaultParams())
+	if !strings.Contains(b.String(), "Table 3") {
+		t.Fatal("params output missing Table 3")
+	}
+}
+
+// Example demonstrates the one-call experiment API.
+func Example() {
+	p := mondrian.TestParams()
+	res, err := mondrian.RunExperiment(mondrian.SystemMondrian, mondrian.OperatorScan, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", res.Verified)
+	// Output: verified: true
+}
+
+// ExampleRunMapReduce shows a word-count job on the engine.
+func ExampleRunMapReduce() {
+	p := mondrian.TestParams()
+	e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemMondrian))
+	if err != nil {
+		panic(err)
+	}
+	// Three "words": 7 appears twice.
+	in := []mondrian.Tuple{{Key: 7, Val: 0}, {Key: 9, Val: 0}, {Key: 7, Val: 0}}
+	inputs := make([]*mondrian.Region, e.NumVaults())
+	for v := range inputs {
+		var part []mondrian.Tuple
+		if v == 0 {
+			part = in
+		}
+		r, err := e.Place(v, part)
+		if err != nil {
+			panic(err)
+		}
+		inputs[v] = r
+	}
+	job := mondrian.MapReduceJob{
+		Name: "wordcount",
+		Map: func(t mondrian.Tuple, emit func(mondrian.Tuple)) {
+			emit(mondrian.Tuple{Key: t.Key, Val: 1})
+		},
+		Reduce: func(k mondrian.Key, vs []mondrian.Value, emit func(mondrian.Tuple)) {
+			var sum mondrian.Value
+			for _, v := range vs {
+				sum += v
+			}
+			emit(mondrian.Tuple{Key: k, Val: sum})
+		},
+	}
+	res, err := mondrian.RunMapReduce(e, job, inputs)
+	if err != nil {
+		panic(err)
+	}
+	var out []mondrian.Tuple
+	for _, r := range res.Out {
+		out = append(out, r.Tuples...)
+	}
+	counts := map[mondrian.Key]mondrian.Value{}
+	for _, t := range out {
+		counts[t.Key] = t.Val
+	}
+	fmt.Println("count(7) =", counts[7])
+	// Output: count(7) = 2
+}
+
+// ExampleRunBSP shows connected components over a two-node graph.
+func ExampleRunBSP() {
+	p := mondrian.TestParams()
+	e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemMondrian))
+	if err != nil {
+		panic(err)
+	}
+	g := mondrian.Symmetrize(&mondrian.Graph{NumVertices: 2, Out: [][]int32{{1}, {}}})
+	res, err := mondrian.RunBSP(e, mondrian.ComponentsProgram(), g, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("labels:", res.States)
+	// Output: labels: [0 0]
+}
