@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: build test race fuzz bench ci
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the full module. The engine fans per-vault work
+# out to a worker pool; this tier-1 step proves the parallel sections are
+# data-race-free at real concurrency even on single-core CI hosts
+# (explicit Parallelism > 1 is not capped by GOMAXPROCS).
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing sweep over the multiset-digest and operator round-trip
+# properties (the seed corpora already run as regressions under `make test`).
+fuzz:
+	$(GO) test -fuzz=FuzzSameMultiset -fuzztime=10s ./internal/tuple/
+	$(GO) test -fuzz=FuzzPartitionRoundTrip -fuzztime=10s ./internal/operators/
+	$(GO) test -fuzz=FuzzRadixRoundTrip -fuzztime=10s ./internal/operators/
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# ci mirrors .github/workflows/ci.yml: tier-1 build+test, then the race pass.
+ci: test race

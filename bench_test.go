@@ -381,6 +381,32 @@ func BenchmarkAblationSortAlgorithm(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineParallel measures host wall-clock scaling of the
+// per-vault worker pool on the Join operator (the heaviest experiment:
+// two partition phases plus a probe phase). Simulated results are
+// bit-identical at every setting — see TestGoldenDeterminism — so this
+// benchmark isolates the host-side cost/benefit of fanning vault work out
+// to goroutines. Speedup is bounded by the host's core count
+// (GOMAXPROCS): on a single-core host all settings time-share one CPU and
+// the curve is flat. EXPERIMENTS.md records the measured curve.
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			p := benchParams()
+			p.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				r, err := simulate.Run(simulate.Mondrian, simulate.OpJoin, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Verified {
+					b.Fatal("join not verified")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationSchedulerWindow quantifies §4.1.2's claim that
 // conventional memory-controller reordering cannot recover the shuffle's
 // row locality: an FR-FCFS scheduling window of increasing depth services

@@ -22,6 +22,7 @@ func main() {
 		params = flag.Bool("params", false, "print Table 3/4 simulation parameters and exit")
 		only   = flag.String("only", "", "run a single experiment: table5|fig6|fig7|fig8|fig9")
 		asJSON = flag.Bool("json", false, "emit all artifacts as JSON instead of text")
+		par    = flag.Int("parallelism", 0, "host worker pool for per-vault execution (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 	)
 	flag.Parse()
 
@@ -34,6 +35,9 @@ func main() {
 	}
 	if *rTup > 0 {
 		p.RTuples = *rTup
+	}
+	if *par != 0 {
+		p.Parallelism = *par
 	}
 
 	if *params {

@@ -164,7 +164,6 @@ func Run(e *engine.Engine, p Program, g *Graph, maxSupersteps int) (*Result, err
 func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 	stateRegions, edgeRegions []*engine.Region, localVerts [][]int) (bool, error) {
 	nv := e.NumVaults()
-	perm := e.Config().Permutable
 	streamed := e.Config().UseStreams
 
 	// Phase 1: scan local vertices+edges, stage outgoing messages.
@@ -175,12 +174,11 @@ func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 	stagedMsgs := make([][]msg, nv)
 	staging := make([]*engine.Region, nv)
 	e.BeginStep(engine.StepProfile{Name: "bsp-scatter", DepIPC: 1.5, InstPerAccess: 4, StreamFed: streamed})
-	for vault := 0; vault < nv; vault++ {
-		u := e.UnitForVault(vault)
+	if err := e.ForEachVault(func(vault int, u *engine.Unit) error {
 		// Stream states and edges.
 		readers, err := u.OpenStreams(stateRegions[vault], edgeRegions[vault])
 		if err != nil {
-			return false, err
+			return err
 		}
 		// Per-vertex message values.
 		outVal := make(map[int32]int64, len(localVerts[vault]))
@@ -206,7 +204,7 @@ func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 		}
 		r, err := e.AllocOut(vault, maxInt(len(stagedMsgs[vault]), 1))
 		if err != nil {
-			return false, err
+			return err
 		}
 		// Staged messages are produced into a local buffer (sequential
 		// writes) before the exchange.
@@ -214,6 +212,9 @@ func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 			u.AppendLocal(r, tuple.Tuple{Key: tuple.Key(m.dst), Val: tuple.Value(m.val)})
 		}
 		staging[vault] = r
+		return nil
+	}); err != nil {
+		return false, err
 	}
 	e.EndStep()
 
@@ -242,58 +243,35 @@ func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 	if err := e.ShuffleBegin(dests, perSource); err != nil {
 		return false, err
 	}
-	var offset [][]int
-	if !perm {
-		offset = make([][]int, nv)
-		for s := range offset {
-			offset[s] = make([]int, nv)
-		}
-		for d := 0; d < nv; d++ {
-			run := 0
-			for s := 0; s < nv; s++ {
-				offset[s][d] = run
-				run += int(perSource[s][d])
-			}
-		}
-	}
 	e.BeginStep(engine.StepProfile{Name: "bsp-exchange", DepIPC: 1.0, InstPerAccess: 4, StreamFed: streamed})
-	cursors := make([]int, nv)
-	remaining := 0
-	for _, s := range staging {
-		remaining += s.Len()
-	}
-	for remaining > 0 {
-		for s := 0; s < nv; s++ {
-			if cursors[s] >= staging[s].Len() {
-				continue
-			}
-			u := e.UnitForVault(s)
-			t := u.LoadTuple(staging[s], cursors[s])
-			cursors[s]++
-			remaining--
-			d := vaultOf(int(t.Key), nv)
+	x := e.NewExchange(dests)
+	if err := e.ForEachVault(func(s int, u *engine.Unit) error {
+		ob := x.Outbox(s)
+		for i := 0; i < staging[s].Len(); i++ {
+			t := u.LoadTuple(staging[s], i)
 			u.Charge(6)
-			if perm {
-				if err := u.SendPermutable(dests[d], t); err != nil {
-					return false, err
-				}
-			} else {
-				u.SendAt(dests[d], offset[s][d], t)
-				offset[s][d]++
+			if err := ob.Send(vaultOf(int(t.Key), nv), t); err != nil {
+				return err
 			}
 		}
+		return nil
+	}); err != nil {
+		return false, err
+	}
+	if err := x.Flush(); err != nil {
+		return false, err
 	}
 	e.EndStep()
 	e.ShuffleEnd(dests)
 
-	// Phase 3: combine inboxes and apply.
-	changed := false
+	// Phase 3: combine inboxes and apply. Each vault reads and writes only
+	// its own vertices' states; cross-vault values arrived as messages.
+	changedFlags := make([]bool, nv)
 	e.BeginStep(engine.StepProfile{Name: "bsp-apply", DepIPC: 1.5, InstPerAccess: 4, StreamFed: streamed})
-	for vault := 0; vault < nv; vault++ {
-		u := e.UnitForVault(vault)
+	if err := e.ForEachVault(func(vault int, u *engine.Unit) error {
 		readers, err := u.OpenStreams(dests[vault])
 		if err != nil {
-			return false, err
+			return err
 		}
 		inboxes := make(map[int]int64)
 		seen := make(map[int]bool)
@@ -322,13 +300,20 @@ func superstep(e *engine.Engine, p Program, g *Graph, states []int64,
 			next := p.Apply(v, states[v], in, ok, g)
 			if next != states[v] {
 				states[v] = next
-				changed = true
+				changedFlags[vault] = true
 			}
 			u.StoreTuple(stateRegions[vault], i, tuple.Tuple{Key: tuple.Key(v), Val: tuple.Value(next)})
 		}
+		return nil
+	}); err != nil {
+		return false, err
 	}
 	e.EndStep()
 	e.Barrier()
+	changed := false
+	for _, c := range changedFlags {
+		changed = changed || c
+	}
 	return changed, nil
 }
 

@@ -85,6 +85,22 @@ type Stats struct {
 	BusNs                 float64
 }
 
+// Merge folds another shard of statistics into s. Every field is a plain
+// sum, so merging per-vault shards in any order and association equals
+// serial accumulation (integer fields exactly; BusNs is a float sum of
+// the same addends, so equal-addend shards merge exactly too).
+func (s *Stats) Merge(o Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadBytes += o.ReadBytes
+	s.WriteBytes += o.WriteBytes
+	s.Activations += o.Activations
+	s.RowHits += o.RowHits
+	s.RowColdMisses += o.RowColdMisses
+	s.RowConflicts += o.RowConflicts
+	s.BusNs += o.BusNs
+}
+
 // TotalBytes returns the total data volume moved over the vault bus.
 func (s Stats) TotalBytes() uint64 { return s.ReadBytes + s.WriteBytes }
 

@@ -1,0 +1,77 @@
+package dram
+
+import "testing"
+
+// shardStats builds N deterministic per-vault stat shards. BusNs values
+// are multiples of 0.25 well below 2^53 quarters, so every float sum in
+// the tests below is exact and order/association cannot change the result.
+func shardStats(n int) []Stats {
+	shards := make([]Stats, n)
+	for i := range shards {
+		k := uint64(i + 1)
+		shards[i] = Stats{
+			Reads:         k * 17,
+			Writes:        k * 5,
+			ReadBytes:     k * 17 * 64,
+			WriteBytes:    k * 5 * 64,
+			Activations:   k * 3,
+			RowHits:       k * 11,
+			RowColdMisses: k * 2,
+			RowConflicts:  k,
+			BusNs:         float64(i*i+1) * 0.25,
+		}
+	}
+	return shards
+}
+
+// TestStatsMergeOrderIndependent is the shard-merge property the parallel
+// engine relies on: folding per-vault shards in any order and any
+// association equals serial accumulation, field for field.
+func TestStatsMergeOrderIndependent(t *testing.T) {
+	shards := shardStats(16)
+
+	var serial Stats
+	for _, s := range shards {
+		serial.Merge(s)
+	}
+
+	var reversed Stats
+	for i := len(shards) - 1; i >= 0; i-- {
+		reversed.Merge(shards[i])
+	}
+	if reversed != serial {
+		t.Fatalf("reverse-order merge diverges:\n%+v\nvs\n%+v", reversed, serial)
+	}
+
+	// Stride-3 permutation.
+	var strided Stats
+	for off := 0; off < 3; off++ {
+		for i := off; i < len(shards); i += 3 {
+			strided.Merge(shards[i])
+		}
+	}
+	if strided != serial {
+		t.Fatalf("strided merge diverges:\n%+v\nvs\n%+v", strided, serial)
+	}
+
+	// Pairwise-tree association: merge halves recursively.
+	var tree func(ss []Stats) Stats
+	tree = func(ss []Stats) Stats {
+		if len(ss) == 1 {
+			return ss[0]
+		}
+		left, right := tree(ss[:len(ss)/2]), tree(ss[len(ss)/2:])
+		left.Merge(right)
+		return left
+	}
+	if got := tree(shards); got != serial {
+		t.Fatalf("tree-association merge diverges:\n%+v\nvs\n%+v", got, serial)
+	}
+
+	// Merging a zero shard is the identity.
+	withZero := serial
+	withZero.Merge(Stats{})
+	if withZero != serial {
+		t.Fatal("zero shard changed the merge result")
+	}
+}

@@ -75,6 +75,12 @@ type Config struct {
 	// BarrierNs is the fixed cost of one all-to-all MSI notification
 	// (ShuffleBegin/ShuffleEnd synchronization, §5.4).
 	BarrierNs float64
+	// Parallelism bounds the host worker pool that executes independent
+	// per-vault work (0 = GOMAXPROCS, 1 = serial). It affects wall-clock
+	// time only: simulated results are bit-identical at every setting.
+	// Ignored by the CPU architecture, whose cores share the LLC and
+	// chip mesh and therefore must be evaluated in order.
+	Parallelism int
 }
 
 // Validate checks internal consistency.

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Host-side parallel execution of per-vault work (see DESIGN.md, "Host
+// parallelism vs. simulated parallelism").
+//
+// The paper's compute units execute independently between barriers, and the
+// simulated timing model already reflects that: a step's duration is the
+// barrier-synchronized maximum over per-unit times and per-vault busy
+// times, regardless of the order the host evaluates the units in. This
+// file exploits that property to run the *functional* execution of
+// independent per-vault work on a bounded pool of goroutines.
+//
+// Determinism contract: ForEachVault/ForEachTask produce bit-identical
+// simulation results at every worker count. The contract holds because a
+// well-formed parallel section touches only state owned by its index —
+// its unit (instruction/stall accounting, L1, TLBs, stream buffers, object
+// buffer), its vault (DRAM device, row buffers, bump allocator), and its
+// own slots of caller-provided slices. Cross-vault interactions (the
+// shuffle) go through Exchange (exchange.go), which stages messages and
+// applies them in a data-determined order. All reductions (EndStep,
+// Energy, stat merges) remain serial, in fixed vault-ID order.
+
+// Workers returns the size of the worker pool a parallel section uses.
+// The CPU architecture always runs serially: its cores share the LLC and
+// the chip mesh, so their simulated accesses are order-dependent.
+// For the vault-resident architectures the pool is Config.Parallelism
+// workers (default GOMAXPROCS when zero), never more than the unit count.
+// Values above GOMAXPROCS are honored — the goroutines time-share — so
+// race tests exercise real concurrency even on single-core hosts.
+func (e *Engine) Workers() int {
+	if e.cfg.Arch == CPU {
+		return 1
+	}
+	w := e.cfg.Parallelism
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	if w > len(e.units) {
+		w = len(e.units)
+	}
+	return w
+}
+
+// ForEachVault runs fn(v, UnitForVault(v)) for every vault, fanning the
+// calls over the worker pool. fn must touch only vault-v-owned state (its
+// unit, its vault's DRAM/allocator, and index-v slots of caller slices).
+// Every index runs even after a failure; the lowest-index error is
+// returned, matching serial first-error semantics at any worker count.
+func (e *Engine) ForEachVault(fn func(v int, u *Unit) error) error {
+	if e.cfg.Arch == CPU {
+		panic("engine: ForEachVault on the CPU architecture")
+	}
+	return e.forEach(len(e.units), func(i int) error { return fn(i, e.units[i]) })
+}
+
+// ForEachTask runs fn(i) for i in [0,n) over the worker pool, for
+// per-bucket or per-group work. The caller must ensure distinct indices
+// operate on distinct vaults/units when the engine is parallel (true for
+// the vault-resident architectures, where buckets and probe groups are
+// 1:1 with vaults; the CPU architecture always runs serially).
+func (e *Engine) ForEachTask(n int, fn func(i int) error) error {
+	return e.forEach(n, fn)
+}
+
+// forEach is the shared driver. Work is handed out through an atomic
+// cursor; results are indexed so error/panic selection is deterministic.
+func (e *Engine) forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := e.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		// Serial mode still runs every index and reports the
+		// lowest-index error so error behavior matches parallel runs.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	buffered := e.tracer != nil
+	if buffered {
+		e.beginTraceBuffer()
+	}
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var panicked atomic.Bool
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+							panicked.Store(true)
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if buffered {
+		e.flushTraceBuffer()
+	}
+	if panicked.Load() {
+		for _, p := range panics {
+			if p != nil {
+				panic(p)
+			}
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEvent is one buffered Tracer.Access call.
+type traceEvent struct {
+	unit  int
+	kind  AccessKind
+	addr  int64
+	size  int
+	write bool
+}
+
+// trace emits one access to the installed tracer, buffering per unit
+// while a parallel section runs so that concurrent units do not interleave
+// nondeterministically in the trace.
+func (u *Unit) trace(kind AccessKind, addr int64, size int, write bool) {
+	e := u.engine
+	if e.tracer == nil {
+		return
+	}
+	if u.buffering {
+		u.traceBuf = append(u.traceBuf, traceEvent{unit: u.ID, kind: kind, addr: addr, size: size, write: write})
+		return
+	}
+	e.tracer.Access(u.ID, kind, addr, size, write)
+}
+
+// beginTraceBuffer switches every unit to buffered tracing for the
+// duration of a parallel section.
+func (e *Engine) beginTraceBuffer() {
+	for _, u := range e.units {
+		u.buffering = true
+	}
+}
+
+// flushTraceBuffer replays buffered events in unit-ID order — the order a
+// serial per-vault loop emits them in — and returns units to direct
+// tracing.
+func (e *Engine) flushTraceBuffer() {
+	for _, u := range e.units {
+		u.buffering = false
+		for _, ev := range u.traceBuf {
+			e.tracer.Access(ev.unit, ev.kind, ev.addr, ev.size, ev.write)
+		}
+		u.traceBuf = u.traceBuf[:0]
+	}
+}

@@ -39,6 +39,11 @@ type Unit struct {
 	// Run accounting.
 	busyNs    float64
 	instTotal float64
+
+	// Trace buffering during parallel sections (parallel.go): events are
+	// collected per unit and replayed in unit-ID order at the join.
+	buffering bool
+	traceBuf  []traceEvent
 }
 
 // Charge adds retired instructions to the unit's current step. The
@@ -86,9 +91,7 @@ func (u *Unit) access(addr int64, size int, write bool) {
 	}
 	u.accesses++
 	e := u.engine
-	if e.tracer != nil {
-		e.tracer.Access(u.ID, TraceDemand, addr, size, write)
-	}
+	u.trace(TraceDemand, addr, size, write)
 	switch e.cfg.Arch {
 	case CPU:
 		blockSplit(addr, size, u.L1.Config().BlockBytes, func(a int64) {
@@ -315,9 +318,7 @@ func (u *Unit) SendAt(dst *Region, idx int, t tuple.Tuple) {
 		return
 	}
 	addr := dst.addrOf(idx)
-	if e.tracer != nil {
-		e.tracer.Access(u.ID, TraceShuffle, addr, tuple.Size, true)
-	}
+	u.trace(TraceShuffle, addr, tuple.Size, true)
 	u.routeLatency(dst.Vault, tuple.Size)
 	dst.Vault.Write(addr, tuple.Size)
 	dst.Vault.RecordInbound(tuple.Size)
@@ -344,9 +345,7 @@ func (u *Unit) SendPermutable(dst *Region, t tuple.Tuple) error {
 	if err != nil {
 		return err
 	}
-	if e := u.engine; e.tracer != nil {
-		e.tracer.Access(u.ID, TracePermuted, placed, tuple.Size, true)
-	}
+	u.trace(TracePermuted, placed, tuple.Size, true)
 	dst.Tuples = append(dst.Tuples, t) // arrival order IS the layout
 	return nil
 }

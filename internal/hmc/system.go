@@ -83,20 +83,11 @@ func (s *System) CapacityBytes() int64 {
 	return int64(len(s.vaults)) * s.VaultCap
 }
 
-// TotalDRAMStats sums DRAM statistics across all vaults.
+// TotalDRAMStats merges the per-vault DRAM shards in vault-ID order.
 func (s *System) TotalDRAMStats() dram.Stats {
 	var total dram.Stats
 	for _, v := range s.vaults {
-		st := v.DRAM.Stats()
-		total.Reads += st.Reads
-		total.Writes += st.Writes
-		total.ReadBytes += st.ReadBytes
-		total.WriteBytes += st.WriteBytes
-		total.Activations += st.Activations
-		total.RowHits += st.RowHits
-		total.RowColdMisses += st.RowColdMisses
-		total.RowConflicts += st.RowConflicts
-		total.BusNs += st.BusNs
+		total.Merge(v.DRAM.Stats())
 	}
 	return total
 }

@@ -121,16 +121,15 @@ func Run(e *engine.Engine, job Job, inputs []*engine.Region) (*Result, error) {
 	t0 := e.TotalNs()
 	e.BeginStep(engine.StepProfile{Name: "map", DepIPC: 1.5, InstPerAccess: 4,
 		StreamFed: e.Config().UseStreams})
-	for v := 0; v < nv; v++ {
-		u := e.UnitForVault(v)
+	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
 		readers, err := u.OpenStreams(inputs[v])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for {
 			t, ok := readers[0].Next()
 			if !ok {
-				break
+				return nil
 			}
 			u.Charge(mapInsts)
 			var emitErr error
@@ -145,9 +144,11 @@ func Run(e *engine.Engine, job Job, inputs []*engine.Region) (*Result, error) {
 				u.AppendLocal(staging[v], out)
 			})
 			if emitErr != nil {
-				return nil, emitErr
+				return emitErr
 			}
 		}
+	}); err != nil {
+		return nil, err
 	}
 	e.EndStep()
 	e.Barrier()
@@ -176,15 +177,15 @@ func Run(e *engine.Engine, job Job, inputs []*engine.Region) (*Result, error) {
 	if simd {
 		redInsts /= job.simdFactor()
 	}
+	keyCnt := make([]int, nv)
 	e.BeginStep(engine.StepProfile{Name: "reduce", DepIPC: 1.5, InstPerAccess: 4,
 		StreamFed: e.Config().UseStreams})
-	for v := 0; v < nv; v++ {
-		u := e.UnitForVault(v)
+	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
 		b := buckets[v]
 		// Read the bucket (streamed where supported) and group by key.
 		readers, err := u.OpenStreams(b)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		groups := make(map[tuple.Key][]tuple.Value)
 		for {
@@ -215,13 +216,19 @@ func Run(e *engine.Engine, job Job, inputs []*engine.Region) (*Result, error) {
 				u.AppendLocal(outs[v], out)
 			})
 			if emitErr != nil {
-				return nil, emitErr
+				return emitErr
 			}
-			res.Keys++
+			keyCnt[v]++
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	e.EndStep()
 	e.Barrier()
+	for _, k := range keyCnt {
+		res.Keys += k
+	}
 	res.ReduceNs = e.TotalNs() - t2
 	return res, nil
 }
@@ -231,7 +238,6 @@ func Run(e *engine.Engine, job Job, inputs []*engine.Region) (*Result, error) {
 // the MapReduce twin of the operators' partitioning distribution step.
 func shuffle(e *engine.Engine, staging []*engine.Region) ([]*engine.Region, error) {
 	nv := e.NumVaults()
-	perm := e.Config().Permutable
 	dest := func(k tuple.Key) int { return int(uint64(k) % uint64(nv)) }
 
 	// Histogram exchange (sizes the destination buffers).
@@ -260,49 +266,24 @@ func shuffle(e *engine.Engine, staging []*engine.Region) ([]*engine.Region, erro
 		return nil, err
 	}
 
-	var offset [][]int
-	if !perm {
-		offset = make([][]int, nv)
-		for s := range offset {
-			offset[s] = make([]int, nv)
-		}
-		for d := 0; d < nv; d++ {
-			run := 0
-			for s := 0; s < nv; s++ {
-				offset[s][d] = run
-				run += int(perSource[s][d])
-			}
-		}
-	}
-
 	e.BeginStep(engine.StepProfile{Name: "mr-shuffle", DepIPC: 1.0, InstPerAccess: 4,
 		StreamFed: e.Config().UseStreams})
-	cursors := make([]int, nv)
-	remaining := 0
-	for _, s := range staging {
-		remaining += s.Len()
-	}
-	// Round-robin interleaved delivery, as in the operators' phase.
-	for remaining > 0 {
-		for v := 0; v < nv; v++ {
-			if cursors[v] >= staging[v].Len() {
-				continue
-			}
-			u := e.UnitForVault(v)
-			t := u.LoadTuple(staging[v], cursors[v])
-			cursors[v]++
-			remaining--
-			d := dest(t.Key)
+	x := e.NewExchange(dests)
+	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
+		ob := x.Outbox(v)
+		for i := 0; i < staging[v].Len(); i++ {
+			t := u.LoadTuple(staging[v], i)
 			u.Charge(6)
-			if perm {
-				if err := u.SendPermutable(dests[d], t); err != nil {
-					return nil, err
-				}
-			} else {
-				u.SendAt(dests[d], offset[v][d], t)
-				offset[v][d]++
+			if err := ob.Send(dest(t.Key), t); err != nil {
+				return err
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := x.Flush(); err != nil {
+		return nil, err
 	}
 	e.EndStep()
 	e.ShuffleEnd(dests)

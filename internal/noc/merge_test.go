@@ -1,0 +1,128 @@
+package noc
+
+import "testing"
+
+// TestMeshStatsMergeOrderIndependent checks the shard-merge property for
+// mesh statistics: any order and association of per-destination shards
+// equals serial accumulation. Float fields use multiples of 0.25 so every
+// sum is exact.
+func TestMeshStatsMergeOrderIndependent(t *testing.T) {
+	shards := make([]MeshStats, 12)
+	for i := range shards {
+		shards[i] = MeshStats{
+			Messages: uint64(i+1) * 7,
+			Bytes:    uint64(i+1) * 112,
+			BitMM:    float64(3*i+1) * 0.5,
+			BusyNs:   float64(i*i+2) * 0.25,
+		}
+	}
+	var serial MeshStats
+	for _, s := range shards {
+		serial.Merge(s)
+	}
+	var reversed MeshStats
+	for i := len(shards) - 1; i >= 0; i-- {
+		reversed.Merge(shards[i])
+	}
+	if reversed != serial {
+		t.Fatalf("reverse merge diverges: %+v vs %+v", reversed, serial)
+	}
+	var halves [2]MeshStats
+	for i, s := range shards {
+		halves[i%2].Merge(s)
+	}
+	halves[0].Merge(halves[1])
+	if halves[0] != serial {
+		t.Fatalf("two-way association diverges: %+v vs %+v", halves[0], serial)
+	}
+}
+
+// TestLinkStatsMergeOrderIndependent is the SerDes twin.
+func TestLinkStatsMergeOrderIndependent(t *testing.T) {
+	shards := make([]LinkStats, 10)
+	for i := range shards {
+		shards[i] = LinkStats{
+			Messages: uint64(i + 1),
+			Bytes:    uint64(i+1) * 20,
+			BusyNs:   float64(i+1) * 1.0, // 20 B at 160 Gb/s = 1 ns exactly
+		}
+	}
+	var serial LinkStats
+	for _, s := range shards {
+		serial.Merge(s)
+	}
+	var reversed LinkStats
+	for i := len(shards) - 1; i >= 0; i-- {
+		reversed.Merge(shards[i])
+	}
+	if reversed != serial {
+		t.Fatalf("reverse merge diverges: %+v vs %+v", reversed, serial)
+	}
+}
+
+// TestMeshRecordBulkMatchesTransfers proves the aggregated-statistics path
+// the parallel Exchange uses: RecordBulk(src, dst, size, n) leaves exactly
+// the statistics n individual Transfer calls leave. The mesh runs at
+// 1 GHz with millimetre hops, so every contribution is an integer and the
+// n× multiplication is exact.
+func TestMeshRecordBulkMatchesTransfers(t *testing.T) {
+	for _, tc := range []struct {
+		src, dst, size int
+		n              uint64
+	}{
+		{0, 15, 16, 1},
+		{0, 15, 16, 9},
+		{3, 3, 16, 5},   // zero hops: local delivery still serializes
+		{5, 6, 40, 7},   // multi-flit message
+		{12, 1, 64, 33}, // long diagonal route
+	} {
+		a, b := NewMesh(4, 4), NewMesh(4, 4)
+		for i := uint64(0); i < tc.n; i++ {
+			a.Transfer(tc.src, tc.dst, tc.size)
+		}
+		b.RecordBulk(tc.src, tc.dst, tc.size, tc.n)
+		if a.Stats() != b.Stats() {
+			t.Fatalf("%+v: %d×Transfer %+v != RecordBulk %+v", tc, tc.n, a.Stats(), b.Stats())
+		}
+	}
+	m := NewMesh(4, 4)
+	m.RecordBulk(0, 1, 16, 0)
+	if m.Stats() != (MeshStats{}) {
+		t.Fatal("RecordBulk with n=0 recorded traffic")
+	}
+}
+
+// TestNetworkRecordBulkMatchesTransfers does the same for the SerDes
+// fabric across both topologies and all routing cases (cube↔cube,
+// cube↔CPU, star two-hop). Sizes are multiples of 20 B, so each transfer
+// is a whole nanosecond at 160 Gb/s and the bulk arithmetic is exact.
+func TestNetworkRecordBulkMatchesTransfers(t *testing.T) {
+	for _, topo := range []Topology{Star, FullyConnected} {
+		for _, tc := range []struct {
+			src, dst, size int
+			n              uint64
+		}{
+			{0, 1, 20, 6},       // cube→cube (direct or via CPU by topology)
+			{2, 0, 40, 11},      // reverse direction, distinct links
+			{CPUNode, 3, 60, 4}, // CPU→cube
+			{1, CPUNode, 20, 8}, // cube→CPU
+			{2, 2, 20, 5},       // local: no links crossed
+		} {
+			a, b := NewNetwork(topo, 4), NewNetwork(topo, 4)
+			for i := uint64(0); i < tc.n; i++ {
+				a.Transfer(tc.src, tc.dst, tc.size)
+			}
+			b.RecordBulk(tc.src, tc.dst, tc.size, tc.n)
+			la, lb := a.Links(), b.Links()
+			if len(la) != len(lb) {
+				t.Fatalf("%v: link count mismatch", topo)
+			}
+			for i := range la {
+				if la[i].Stats() != lb[i].Stats() {
+					t.Fatalf("%v %+v: link %d stats %+v != %+v",
+						topo, tc, i, la[i].Stats(), lb[i].Stats())
+				}
+			}
+		}
+	}
+}

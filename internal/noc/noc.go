@@ -30,6 +30,14 @@ type MeshStats struct {
 	BusyNs   float64 // total link occupancy
 }
 
+// Merge folds another shard of statistics into s (plain field sums).
+func (s *MeshStats) Merge(o MeshStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.BitMM += o.BitMM
+	s.BusyNs += o.BusyNs
+}
+
 // NewMesh creates a w×h mesh with the paper's link parameters.
 func NewMesh(w, h int) *Mesh {
 	if w <= 0 || h <= 0 {
@@ -78,6 +86,26 @@ func (m *Mesh) Transfer(src, dst, size int) float64 {
 	}
 	m.stats.BusyNs += float64(flits) * cycleNs * float64(max(hops, 1))
 	return lat
+}
+
+// RecordBulk accounts for n identical size-byte messages from src to dst
+// without returning a latency. It is the aggregated-statistics path used
+// by engine.Exchange, whose senders ignore per-message latency (the mesh
+// model is stateless: Transfer's latency depends only on src, dst, size).
+func (m *Mesh) RecordBulk(src, dst, size int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if size <= 0 {
+		panic("noc: transfer size must be positive")
+	}
+	hops := m.Hops(src, dst)
+	m.stats.Messages += n
+	m.stats.Bytes += uint64(size) * n
+	m.stats.BitMM += float64(size*8) * float64(hops) * m.HopMM * float64(n)
+	flits := (size + m.LinkBytes - 1) / m.LinkBytes
+	cycleNs := 1.0 / m.FreqGHz
+	m.stats.BusyNs += float64(flits) * cycleNs * float64(max(hops, 1)) * float64(n)
 }
 
 func abs(x int) int {

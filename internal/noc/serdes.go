@@ -17,6 +17,13 @@ type LinkStats struct {
 	BusyNs   float64
 }
 
+// Merge folds another shard of statistics into s (plain field sums).
+func (s *LinkStats) Merge(o LinkStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.BusyNs += o.BusyNs
+}
+
 // NewSerDesLink returns a link with the paper's 160 Gb/s bandwidth.
 func NewSerDesLink() *SerDesLink { return &SerDesLink{BandwidthGbps: 160} }
 
@@ -37,6 +44,22 @@ func (l *SerDesLink) Transfer(size int) float64 {
 	ns := float64(size*8) / l.BandwidthGbps // bits / (Gb/s) = ns
 	l.stats.BusyNs += ns
 	return ns
+}
+
+// RecordBulk accounts for n identical size-byte transfers without
+// returning a latency (the aggregated path of engine.Exchange; the link
+// model is stateless, so the per-message latency is a pure function of
+// size).
+func (l *SerDesLink) RecordBulk(size int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if size <= 0 {
+		panic("noc: transfer size must be positive")
+	}
+	l.stats.Messages += n
+	l.stats.Bytes += uint64(size) * n
+	l.stats.BusyNs += float64(size*8) / l.BandwidthGbps * float64(n)
 }
 
 // Topology selects how cubes are wired to each other and to the CPU.
@@ -137,6 +160,27 @@ func (n *Network) Transfer(src, dst, size int) float64 {
 	default:
 		// Star: cube → CPU → cube crosses two links.
 		return n.cpuRx[n.check(src)].Transfer(size) + n.cpuTx[n.check(dst)].Transfer(size)
+	}
+}
+
+// RecordBulk accounts for n identical size-byte transfers between two
+// nodes, crossing the same links Transfer would, without returning a
+// latency.
+func (n *Network) RecordBulk(src, dst, size int, count uint64) {
+	if src == dst || count == 0 {
+		return
+	}
+	switch {
+	case src == CPUNode:
+		n.cpuTx[n.check(dst)].RecordBulk(size, count)
+	case dst == CPUNode:
+		n.cpuRx[n.check(src)].RecordBulk(size, count)
+	case n.Topology == FullyConnected:
+		n.cubeLinks[n.check(src)][n.check(dst)].RecordBulk(size, count)
+	default:
+		// Star: cube → CPU → cube crosses two links.
+		n.cpuRx[n.check(src)].RecordBulk(size, count)
+		n.cpuTx[n.check(dst)].RecordBulk(size, count)
 	}
 }
 

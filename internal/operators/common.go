@@ -204,10 +204,10 @@ func sortBuckets(e *engine.Engine, cm CostModel, buckets []*engine.Region) ([]*e
 		runProfile.DepIPC = 2
 	}
 	e.BeginStep(probeProfile(e, runProfile))
-	for i, b := range buckets {
-		if err := formRuns(unitForBucket(e, i), cm, b, simd); err != nil {
-			return nil, err
-		}
+	if err := e.ForEachTask(n, func(i int) error {
+		return formRuns(unitForBucket(e, i), cm, buckets[i], simd)
+	}); err != nil {
+		return nil, err
 	}
 	e.EndStep()
 
@@ -224,16 +224,19 @@ func sortBuckets(e *engine.Engine, cm CostModel, buckets []*engine.Region) ([]*e
 	}
 	for pass := 0; pass < maxPasses; pass++ {
 		e.BeginStep(mergeProfile(e, cm))
-		for i := range buckets {
+		if err := e.ForEachTask(n, func(i int) error {
 			if runLen[i] >= maxInt(src[i].Len(), 1) {
-				continue // this bucket is already sorted
+				return nil // this bucket is already sorted
 			}
 			dst[i].Reset()
 			if err := mergePass(unitForBucket(e, i), cm, src[i], dst[i], runLen[i], cm.MergeFanIn, simd); err != nil {
-				return nil, err
+				return err
 			}
 			src[i], dst[i] = dst[i], src[i]
 			runLen[i] *= cm.MergeFanIn
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		e.EndStep()
 	}

@@ -99,10 +99,11 @@ func groupByHashProbe(e *engine.Engine, cfg Config, buckets []*engine.Region, re
 	}
 	res.Out = outs
 
+	nGroups := make([]int, len(groups))
 	e.BeginStep(cm.HashProfile)
-	for g, group := range groups {
+	if err := e.ForEachTask(len(groups), func(g int) error {
 		u := unitForGroup(e, groups, g)
-		for _, b := range group {
+		for _, b := range groups[g] {
 			bucket := buckets[b]
 			for i := 0; i < bucket.Len(); i++ {
 				t := u.LoadTuple(bucket, i)
@@ -110,14 +111,22 @@ func groupByHashProbe(e *engine.Engine, cfg Config, buckets []*engine.Region, re
 				tables[g].update(u, t)
 			}
 		}
-		// Emission sweep over the table.
+		// Emission sweep over the table. Map order varies run to run, but
+		// the emitted writes are sequential appends, so the simulated
+		// address stream — and with it timing and energy — does not.
 		for key, agg := range tables[g].groups {
 			u.Charge(float64(numAggs) * 2)
 			emitGroup(u, outs[g], key, agg)
-			res.Groups++
+			nGroups[g]++
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	e.EndStep()
+	for _, n := range nGroups {
+		res.Groups += n
+	}
 	return nil
 }
 
@@ -143,10 +152,11 @@ func groupBySortProbe(e *engine.Engine, cm CostModel, buckets []*engine.Region, 
 		insts /= cm.SIMDJoinFactor
 		prof.DepIPC = 2
 	}
+	nGroups := make([]int, len(sorted))
 	e.BeginStep(probeProfile(e, prof))
-	for b, bucket := range sorted {
+	if err := e.ForEachTask(len(sorted), func(b int) error {
 		u := unitForBucket(e, b)
-		readers, err := u.OpenStreams(bucket)
+		readers, err := u.OpenStreams(sorted[b])
 		if err != nil {
 			return err
 		}
@@ -161,7 +171,7 @@ func groupBySortProbe(e *engine.Engine, cm CostModel, buckets []*engine.Region, 
 			if agg == nil || t.Key != cur {
 				if agg != nil {
 					emitGroup(u, outs[b], cur, agg)
-					res.Groups++
+					nGroups[b]++
 				}
 				cur = t.Key
 				agg = &Aggregates{Min: ^uint64(0)}
@@ -179,9 +189,15 @@ func groupBySortProbe(e *engine.Engine, cm CostModel, buckets []*engine.Region, 
 		}
 		if agg != nil {
 			emitGroup(u, outs[b], cur, agg)
-			res.Groups++
+			nGroups[b]++
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	e.EndStep()
+	for _, n := range nGroups {
+		res.Groups += n
+	}
 	return nil
 }

@@ -96,9 +96,9 @@ func joinHashProbe(e *engine.Engine, cfg Config, rBuckets, sBuckets []*engine.Re
 	res.Out = outs
 
 	e.BeginStep(cm.HashProfile)
-	for g, group := range groups {
+	if err := e.ForEachTask(len(groups), func(g int) error {
 		u := unitForGroup(e, groups, g)
-		for _, b := range group {
+		for _, b := range groups[g] {
 			rb := rBuckets[b]
 			for i := 0; i < rb.Len(); i++ {
 				t := u.LoadTuple(rb, i)
@@ -108,25 +108,35 @@ func joinHashProbe(e *engine.Engine, cfg Config, rBuckets, sBuckets []*engine.Re
 				}
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	e.EndStep()
 
+	matches := make([]int, len(groups))
 	e.BeginStep(cm.HashProfile)
-	for g, group := range groups {
+	if err := e.ForEachTask(len(groups), func(g int) error {
 		u := unitForGroup(e, groups, g)
-		for _, b := range group {
+		for _, b := range groups[g] {
 			sb := sBuckets[b]
 			for i := 0; i < sb.Len(); i++ {
 				s := u.LoadTuple(sb, i)
 				u.Charge(cm.HashProbeInsts)
 				if r, ok := tables[g].lookup(u, s.Key); ok {
 					u.AppendLocal(outs[g], combine(r, s))
-					res.Matches++
+					matches[g]++
 				}
 			}
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	e.EndStep()
+	for _, m := range matches {
+		res.Matches += m
+	}
 	return nil
 }
 
@@ -159,8 +169,9 @@ func joinSortMergeProbe(e *engine.Engine, cm CostModel, rBuckets, sBuckets []*en
 		insts /= cm.SIMDJoinFactor
 		prof.DepIPC = 2
 	}
+	matches := make([]int, len(rSorted))
 	e.BeginStep(probeProfile(e, prof))
-	for b := range rSorted {
+	if err := e.ForEachTask(len(rSorted), func(b int) error {
 		u := unitForBucket(e, b)
 		readers, err := u.OpenStreams(rSorted[b], sSorted[b])
 		if err != nil {
@@ -174,7 +185,7 @@ func joinSortMergeProbe(e *engine.Engine, cm CostModel, rBuckets, sBuckets []*en
 		for {
 			st, sok := sr.Next()
 			if !sok {
-				break
+				return nil
 			}
 			u.Charge(insts)
 			for rok && rt.Key < st.Key {
@@ -183,10 +194,15 @@ func joinSortMergeProbe(e *engine.Engine, cm CostModel, rBuckets, sBuckets []*en
 			}
 			if rok && rt.Key == st.Key {
 				u.AppendLocal(outs[b], combine(rt, st))
-				res.Matches++
+				matches[b]++
 			}
 		}
+	}); err != nil {
+		return err
 	}
 	e.EndStep()
+	for _, m := range matches {
+		res.Matches += m
+	}
 	return nil
 }

@@ -134,12 +134,11 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 	// Per-vault histograms are 64 counters (512 B) and live on chip.
 	perSource := make([][]int64, nv)
 	e.BeginStep(probeProfile(e, cm.HistogramProfile))
-	for v := 0; v < nv; v++ {
-		u := e.UnitForVault(v)
+	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
 		perSource[v] = make([]int64, nv)
 		readers, err := u.OpenStreams(inputs[v])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for {
 			t, ok := readers[0].Next()
@@ -149,6 +148,9 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 			perSource[v][part.Bucket(t.Key)]++
 			u.Charge(histInsts)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Steps = append(res.Steps, e.EndStep())
 
@@ -159,57 +161,36 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 	res.HistogramNs = e.TotalNs() - t0
 	t1 := e.TotalNs()
 
-	// Step 2: data distribution, interleaved round-robin across sources
-	// (the arrival interleaving of Fig. 2).
+	// Step 2: data distribution. Each source streams its partition and
+	// stages tuples into the Exchange; destinations apply the staged
+	// messages in the serial engine's round-robin arrival interleave
+	// (Fig. 2) — see engine.Exchange. Conventional write offsets (prefix
+	// sums over the exchanged histograms) are computed by the Exchange.
 	insts, profile := distInsts(e, cm)
-	perm := e.Config().Permutable
-
-	// Conventional distribution needs per-(source,dest) write offsets:
-	// prefix sums over the exchanged histograms.
-	var offset [][]int
-	if !perm {
-		offset = make([][]int, nv)
-		for s := range offset {
-			offset[s] = make([]int, nv)
-		}
-		for dst := 0; dst < nv; dst++ {
-			run := 0
-			for src := 0; src < nv; src++ {
-				offset[src][dst] = run
-				run += int(perSource[src][dst])
-			}
-		}
-	}
 
 	e.BeginStep(probeProfile(e, profile))
-	readers := make([]*engine.StreamReader, nv)
-	for v := 0; v < nv; v++ {
-		rs, err := e.UnitForVault(v).OpenStreams(inputs[v])
+	x := e.NewExchange(dests)
+	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
+		rs, err := u.OpenStreams(inputs[v])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		readers[v] = rs[0]
-	}
-	remaining := total
-	for remaining > 0 {
-		for v := 0; v < nv; v++ {
-			t, ok := readers[v].Next()
+		ob := x.Outbox(v)
+		for {
+			t, ok := rs[0].Next()
 			if !ok {
-				continue
+				return nil
 			}
-			u := e.UnitForVault(v)
-			remaining--
-			dst := part.Bucket(t.Key)
 			u.Charge(insts)
-			if perm {
-				if err := u.SendPermutable(dests[dst], t); err != nil {
-					return nil, err
-				}
-			} else {
-				u.SendAt(dests[dst], offset[v][dst], t)
-				offset[v][dst]++
+			if err := ob.Send(part.Bucket(t.Key), t); err != nil {
+				return err
 			}
 		}
+	}); err != nil {
+		return nil, err
+	}
+	if err := x.Flush(); err != nil {
+		return nil, err
 	}
 	res.Steps = append(res.Steps, e.EndStep())
 	e.ShuffleEnd(dests)

@@ -110,17 +110,27 @@ func ensureCap(r *engine.Region, n int) {
 func RadixSortBuckets(e *engine.Engine, cm CostModel, buckets []*engine.Region, keySpace uint64) ([]*engine.Region, error) {
 	simd := isSIMD(e)
 	out := make([]*engine.Region, len(buckets))
-	e.BeginStep(probeProfile(e, engine.StepProfile{Name: "radix-sort", DepIPC: 1.2, InstPerAccess: 3}))
+	// Scratch allocation stays serial: on the CPU several buckets can share
+	// a vault, and the bump allocator is not safe (or deterministic) under
+	// concurrent allocation.
+	scratches := make([]*engine.Region, len(buckets))
 	for i, b := range buckets {
-		scratch, err := e.AllocOut(b.Vault.ID, maxInt(b.Len(), 1))
+		s, err := e.AllocOut(b.Vault.ID, maxInt(b.Len(), 1))
 		if err != nil {
 			return nil, err
 		}
-		sorted, err := radixSortLocal(unitForBucket(e, i), cm, b, scratch, keySpace, simd)
+		scratches[i] = s
+	}
+	e.BeginStep(probeProfile(e, engine.StepProfile{Name: "radix-sort", DepIPC: 1.2, InstPerAccess: 3}))
+	if err := e.ForEachTask(len(buckets), func(i int) error {
+		sorted, err := radixSortLocal(unitForBucket(e, i), cm, buckets[i], scratches[i], keySpace, simd)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out[i] = sorted
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	e.EndStep()
 	return out, nil

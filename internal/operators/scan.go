@@ -62,23 +62,28 @@ func Scan(e *engine.Engine, cfg Config, inputs []*engine.Region, needle tuple.Ke
 			}
 		}
 	} else {
-		for v, in := range inputs {
-			u := e.UnitForVault(v)
-			readers, err := u.OpenStreams(in)
+		matches := make([]int, len(inputs))
+		if err := e.ForEachVault(func(v int, u *engine.Unit) error {
+			readers, err := u.OpenStreams(inputs[v])
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for {
 				t, ok := readers[0].Next()
 				if !ok {
-					break
+					return nil
 				}
 				u.Charge(insts)
 				if t.Key == needle {
 					u.AppendLocal(outs[v], t)
-					res.Matches++
+					matches[v]++
 				}
 			}
+		}); err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			res.Matches += m
 		}
 	}
 	res.Steps = append(res.Steps, e.EndStep())

@@ -1,0 +1,66 @@
+package simulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// goldenParams shrinks the workload so the full system × operator ×
+// parallelism matrix stays fast while still exercising every phase
+// (multi-pass partitioning, shuffles, probes).
+func goldenParams() Params {
+	p := TestParams()
+	p.STuples = 1 << 13
+	p.RTuples = 1 << 12
+	p.KeySpace = 1 << 16
+	p.CPUBuckets = 1 << 8
+	return p
+}
+
+// TestGoldenDeterminism is the tentpole acceptance test: for every
+// (System, Operator) pair, the complete Result — timing, energy, DRAM
+// stats, step timeline — and its JSON encoding are byte-identical at
+// parallelism 1, 4, and GOMAXPROCS. Host concurrency must never leak
+// into simulated results.
+func TestGoldenDeterminism(t *testing.T) {
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, s := range Systems() {
+		for _, op := range Operators() {
+			s, op := s, op
+			t.Run(s.String()+"/"+op.String(), func(t *testing.T) {
+				t.Parallel()
+				var golden *Result
+				var goldenJSON []byte
+				for _, par := range levels {
+					p := goldenParams()
+					p.Parallelism = par
+					r, err := Run(s, op, p)
+					if err != nil {
+						t.Fatalf("parallelism %d: %v", par, err)
+					}
+					if !r.Verified {
+						t.Fatalf("parallelism %d: output verification failed", par)
+					}
+					j, err := json.Marshal(r)
+					if err != nil {
+						t.Fatalf("parallelism %d: marshal: %v", par, err)
+					}
+					if golden == nil {
+						golden, goldenJSON = r, j
+						continue
+					}
+					if !reflect.DeepEqual(golden, r) {
+						t.Errorf("Result at parallelism %d differs from parallelism %d", par, levels[0])
+					}
+					if !bytes.Equal(goldenJSON, j) {
+						t.Errorf("report JSON at parallelism %d differs from parallelism %d:\n%s\nvs\n%s",
+							par, levels[0], goldenJSON, j)
+					}
+				}
+			})
+		}
+	}
+}

@@ -14,6 +14,8 @@ package simulate
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 
 	"github.com/ecocloud-go/mondrian/internal/cache"
 	"github.com/ecocloud-go/mondrian/internal/cores"
@@ -97,12 +99,18 @@ type Params struct {
 	BarrierNs float64
 	// Energy holds the Table 4 constants.
 	Energy energy.Params
+	// Parallelism bounds the host worker pool executing per-vault work
+	// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical at every
+	// setting; only wall-clock time changes. Overridable with the
+	// MONDRIAN_PARALLELISM environment variable.
+	Parallelism int
 }
 
 // DefaultParams returns the paper's system shape (4 cubes × 16 vaults,
 // 16 CPU cores) with a laptop-scale dataset.
 func DefaultParams() Params {
 	return Params{
+		Parallelism:   envParallelism(),
 		Cubes:         4,
 		VaultsPer:     16,
 		CPUCores:      16,
@@ -135,6 +143,20 @@ func TestParams() Params {
 	return p
 }
 
+// envParallelism reads the MONDRIAN_PARALLELISM override (0 or unset =
+// GOMAXPROCS, 1 = serial, N = N workers).
+func envParallelism() int {
+	v := os.Getenv("MONDRIAN_PARALLELISM")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 // geometry derives the per-vault DRAM geometry.
 func (p Params) geometry() dram.Geometry {
 	g := dram.HMCGeometry()
@@ -149,8 +171,9 @@ func (p Params) EngineConfig(s System) engine.Config {
 		VaultsPer:  p.VaultsPer,
 		Geometry:   p.geometry(),
 		Timing:     dram.HMCTiming(),
-		ObjectSize: tuple.Size,
-		BarrierNs:  p.BarrierNs,
+		ObjectSize:  tuple.Size,
+		BarrierNs:   p.BarrierNs,
+		Parallelism: p.Parallelism,
 	}
 	switch s {
 	case CPU:

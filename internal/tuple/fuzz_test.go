@@ -1,0 +1,95 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// tuplesFromBytes decodes arbitrary fuzzer bytes into tuples, 16 bytes
+// (key, value) per tuple.
+func tuplesFromBytes(data []byte) []Tuple {
+	n := len(data) / 16
+	ts := make([]Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		ts = append(ts, Tuple{
+			Key: Key(binary.LittleEndian.Uint64(data[i*16:])),
+			Val: Value(binary.LittleEndian.Uint64(data[i*16+8:])),
+		})
+	}
+	return ts
+}
+
+// FuzzSameMultiset checks the digest invariants SameMultiset relies on:
+// permutation invariance (reversal), sensitivity to an extra element, and
+// sensitivity to a single mutated payload. The seed corpus doubles as a
+// regression suite under plain `go test`.
+func FuzzSameMultiset(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	// Two tuples sharing a key but not a value.
+	seed := make([]byte, 32)
+	binary.LittleEndian.PutUint64(seed[0:], 7)
+	binary.LittleEndian.PutUint64(seed[8:], 1)
+	binary.LittleEndian.PutUint64(seed[16:], 7)
+	binary.LittleEndian.PutUint64(seed[24:], 2)
+	f.Add(seed)
+	// Adversarial-looking repetition: many identical tuples.
+	rep := make([]byte, 16*8)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint64(rep[i*16:], 0xdeadbeef)
+		binary.LittleEndian.PutUint64(rep[i*16+8:], 0xcafe)
+	}
+	f.Add(rep)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts := tuplesFromBytes(data)
+
+		if !SameMultiset(ts, ts) {
+			t.Fatal("multiset not equal to itself")
+		}
+
+		// Reversal is a permutation: must stay equal.
+		rev := make([]Tuple, len(ts))
+		for i, tp := range ts {
+			rev[len(ts)-1-i] = tp
+		}
+		if !SameMultiset(ts, rev) {
+			t.Fatalf("reversal broke multiset equality: %v", ts)
+		}
+
+		// Deterministic interleave (even indices then odd) is also a
+		// permutation.
+		perm := make([]Tuple, 0, len(ts))
+		for i := 0; i < len(ts); i += 2 {
+			perm = append(perm, ts[i])
+		}
+		for i := 1; i < len(ts); i += 2 {
+			perm = append(perm, ts[i])
+		}
+		if !SameMultiset(ts, perm) {
+			t.Fatalf("interleave broke multiset equality: %v", ts)
+		}
+
+		// Appending any extra tuple changes the count, so equality must
+		// break — Digest.Count alone guarantees this.
+		extra := append(append([]Tuple(nil), ts...), Tuple{Key: 1, Val: 1})
+		if SameMultiset(ts, extra) {
+			t.Fatal("extra element not detected")
+		}
+
+		// Mutating one payload changes the element hash; the Sum component
+		// catches it unless the two hashes collide (mix64 is bijective on
+		// (key,val) pairs, so h(old) != h(new) here: same key, val+1).
+		if len(ts) > 0 {
+			mut := append([]Tuple(nil), ts...)
+			mut[0].Val++
+			d1, d2 := DigestOf(ts), DigestOf(mut)
+			if d1.Sum == d2.Sum && d1.Xor == d2.Xor {
+				t.Fatalf("single-value mutation not detected: %v", ts[0])
+			}
+			if SameMultiset(ts, mut) {
+				t.Fatal("SameMultiset missed a mutated payload")
+			}
+		}
+	})
+}
