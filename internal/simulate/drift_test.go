@@ -1,0 +1,24 @@
+package simulate
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestDriftProbe(t *testing.T) {
+	p := TestParams()
+	p.STuples = 1 << 12
+	p.RTuples = 1 << 11
+	p.KeySpace = 1 << 14
+	for _, s := range Systems() {
+		for _, op := range Operators() {
+			r, err := Run(s, op, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, _ := json.Marshal(r)
+			fmt.Printf("%s/%s %x\n", s, op, j)
+		}
+	}
+}
