@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench ci
+.PHONY: build test race fuzz bench bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -22,7 +22,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzPartitionRoundTrip -fuzztime=10s ./internal/operators/
 	$(GO) test -fuzz=FuzzRadixRoundTrip -fuzztime=10s ./internal/operators/
 
+# Operator benchmarks (bulk fast path vs per-tuple reference), converted
+# to a benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
+# reconstructs plain `go test -bench` output for benchstat.
 bench:
+	$(GO) test -bench=BenchmarkOp -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	@echo wrote BENCH_PR2.json
+
+# One-iteration smoke pass over every benchmark (CI keeps this fast).
+bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
 # ci mirrors .github/workflows/ci.yml: tier-1 build+test, then the race pass.

@@ -30,6 +30,110 @@ func benchParams() simulate.Params {
 	return p
 }
 
+// benchOp measures the host wall-clock of one operator simulation per
+// system, once with the run-based bulk fast path ("bulk", the default)
+// and once forcing the per-tuple reference loops ("reference").
+// Simulated results are byte-identical between the two modes
+// (TestBulkDifferential pins that); only host time differs, so the
+// bulk/reference ratio is the fast path's speedup. Workload generation,
+// engine construction, placement, and output verification run outside
+// the timer — the benchmark isolates the simulation loop itself, which
+// is what the fast path accelerates.
+func benchOp(b *testing.B, op simulate.Operator) {
+	systems := []simulate.System{
+		simulate.CPU, simulate.NMP, simulate.NMPSeq, simulate.Mondrian,
+	}
+	for _, mode := range []struct {
+		name   string
+		noBulk bool
+	}{{"bulk", false}, {"reference", true}} {
+		for _, s := range systems {
+			b.Run(mode.name+"/"+s.String(), func(b *testing.B) {
+				p := benchParams()
+				p.NoBulk = mode.noBulk
+				benchOperatorOnly(b, s, op, p)
+			})
+		}
+	}
+}
+
+// benchOperatorOnly times just the operator call, mirroring
+// simulate.Run's per-operator setup but keeping it off the clock.
+func benchOperatorOnly(b *testing.B, s simulate.System, op simulate.Operator, p simulate.Params) {
+	b.Helper()
+	b.ReportAllocs()
+	opCfg := p.OperatorConfig(s)
+	// Workloads are deterministic in the seed; generate once.
+	var rels []*tuple.Relation
+	switch op {
+	case OpScanB:
+		rels = []*tuple.Relation{workload.Uniform("scan-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace})}
+	case OpSortB:
+		rels = []*tuple.Relation{workload.Uniform("sort-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace})}
+	case OpGroupByB:
+		rels = []*tuple.Relation{workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)}
+	case OpJoinB:
+		rRel, sRel := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		rels = []*tuple.Relation{rRel, sRel}
+	}
+	var needle tuple.Key
+	if op == OpScanB {
+		needle, _ = workload.ScanTarget(rels[0], p.Seed+1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		e, err := engine.New(p.EngineConfig(s))
+		if err != nil {
+			b.Fatal(err)
+		}
+		regions := make([][]*engine.Region, len(rels))
+		for j, rel := range rels {
+			if regions[j], err = placeAll(e, rel); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		switch op {
+		case OpScanB:
+			_, err = operators.Scan(e, opCfg, regions[0], needle)
+		case OpSortB:
+			_, err = operators.Sort(e, opCfg, regions[0])
+		case OpGroupByB:
+			_, err = operators.GroupBy(e, opCfg, regions[0])
+		case OpJoinB:
+			_, err = operators.Join(e, opCfg, regions[0], regions[1])
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Local aliases keep the benchOperatorOnly switch readable.
+const (
+	OpScanB    = simulate.OpScan
+	OpSortB    = simulate.OpSort
+	OpGroupByB = simulate.OpGroupBy
+	OpJoinB    = simulate.OpJoin
+)
+
+// BenchmarkOpScan times the Scan operator, bulk fast path vs per-tuple
+// reference.
+func BenchmarkOpScan(b *testing.B) { benchOp(b, simulate.OpScan) }
+
+// BenchmarkOpSort times the Sort operator (partition + local sort), bulk
+// fast path vs per-tuple reference.
+func BenchmarkOpSort(b *testing.B) { benchOp(b, simulate.OpSort) }
+
+// BenchmarkOpGroupBy times the GroupBy operator, bulk fast path vs
+// per-tuple reference.
+func BenchmarkOpGroupBy(b *testing.B) { benchOp(b, simulate.OpGroupBy) }
+
+// BenchmarkOpJoin times the Join operator, bulk fast path vs per-tuple
+// reference.
+func BenchmarkOpJoin(b *testing.B) { benchOp(b, simulate.OpJoin) }
+
 // BenchmarkTable5Partition regenerates Table 5: partition-phase speedup of
 // the NMP systems over the CPU for the Join operator.
 func BenchmarkTable5Partition(b *testing.B) {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/ecocloud-go/mondrian/internal/report"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
@@ -23,8 +25,35 @@ func main() {
 		only   = flag.String("only", "", "run a single experiment: table5|fig6|fig7|fig8|fig9")
 		asJSON = flag.Bool("json", false, "emit all artifacts as JSON instead of text")
 		par    = flag.Int("parallelism", 0, "host worker pool for per-vault execution (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
+		cpuOut = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memOut = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memOut != "" {
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	p := simulate.DefaultParams()
 	if *small {

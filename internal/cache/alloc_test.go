@@ -1,0 +1,31 @@
+package cache
+
+import "testing"
+
+// The Access/AccessRun results reuse per-cache buffers, so the steady
+// state allocates nothing — on hits, misses and evictions alike. These
+// tests pin that property.
+
+func TestAccessZeroAllocSteadyState(t *testing.T) {
+	c := New(L1D32K())
+	const blocks = 4096 // 256 KB footprint: hits, misses and evictions
+	sweep := func() {
+		for i := 0; i < blocks; i++ {
+			c.Access(int64(i)*64, i%3 == 0)
+		}
+	}
+	sweep() // grow internal buffers to steady state
+	if allocs := testing.AllocsPerRun(5, sweep); allocs != 0 {
+		t.Errorf("Access allocates %.1f times per %d-block sweep in steady state", allocs, blocks)
+	}
+}
+
+func TestAccessRunZeroAllocSteadyState(t *testing.T) {
+	c := New(L1D32K())
+	var res RunResult
+	sweep := func() { c.AccessRun(0, 16, 16384, false, &res) }
+	sweep()
+	if allocs := testing.AllocsPerRun(5, sweep); allocs != 0 {
+		t.Errorf("AccessRun allocates %.1f times per run in steady state", allocs)
+	}
+}

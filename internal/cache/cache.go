@@ -67,6 +67,22 @@ type Cache struct {
 	nsets int
 	tick  uint64
 	stats Stats
+
+	// Shift/mask forms of the block and set arithmetic, valid when both
+	// BlockBytes and the set count are powers of two (every modeled
+	// configuration). The generic divide path remains for odd geometries.
+	pow2       bool
+	blockShift uint
+	blockMask  int64 // BlockBytes-1
+	setShift   uint
+	setMask    int64 // nsets-1
+
+	// Reusable buffers backing the slices returned in Result, so the
+	// steady-state access path performs zero heap allocations. They are
+	// overwritten by the next Access/AccessRun call.
+	scratch  RunResult
+	fetchBuf []int64
+	wbBuf    []int64
 }
 
 // New builds a cache from its configuration.
@@ -83,7 +99,26 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	c := &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	if isPow2(cfg.BlockBytes) && isPow2(nsets) {
+		c.pow2 = true
+		c.blockShift = log2(cfg.BlockBytes)
+		c.blockMask = int64(cfg.BlockBytes - 1)
+		c.setShift = log2(nsets)
+		c.setMask = int64(nsets - 1)
+	}
+	return c
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 // Config returns the cache configuration.
@@ -113,29 +148,95 @@ func (c *Cache) Flush() []int64 {
 }
 
 func (c *Cache) index(addr int64) (set int, tag int64) {
+	if c.pow2 {
+		blk := addr >> c.blockShift
+		return int(blk & c.setMask), blk >> c.setShift
+	}
 	blk := addr / int64(c.cfg.BlockBytes)
 	return int(blk % int64(c.nsets)), blk / int64(c.nsets)
 }
 
 func (c *Cache) blockAddr(set int, tag int64) int64 {
+	if c.pow2 {
+		return (tag<<c.setShift + int64(set)) << c.blockShift
+	}
 	return (tag*int64(c.nsets) + int64(set)) * int64(c.cfg.BlockBytes)
+}
+
+// blockBase rounds addr down to its block base address.
+func (c *Cache) blockBase(addr int64) int64 {
+	if c.pow2 {
+		return addr &^ c.blockMask
+	}
+	return addr / int64(c.cfg.BlockBytes) * int64(c.cfg.BlockBytes)
 }
 
 // Result reports what one access did and what traffic it generated for the
 // next level down: Fetches are block addresses that must be read (demand
 // miss first, then prefetch misses), Writebacks are dirty evicted blocks.
+// The slices alias buffers owned by the cache and are valid only until the
+// next Access or AccessRun call — callers must consume them immediately.
 type Result struct {
 	Hit        bool
 	Fetches    []int64
 	Writebacks []int64
 }
 
+// RunOpKind classifies one entry of a RunResult's traffic list.
+type RunOpKind uint8
+
+// Traffic kinds, in the order the memory system below must see them per
+// miss: the demand fetch, then prefetch fetches, then dirty writebacks.
+const (
+	RunFetchDemand RunOpKind = iota
+	RunFetchPrefetch
+	RunWriteback
+)
+
+// RunOp is one block-granular request for the level below the cache.
+type RunOp struct {
+	Addr int64
+	Kind RunOpKind
+}
+
+// RunResult tallies one AccessRun. Ops is the ordered traffic for the
+// level below; replaying it access-by-access reproduces exactly the
+// Fetches/Writebacks sequence the per-access Access API would have
+// produced. The Ops buffer is reused across calls on the same RunResult.
+type RunResult struct {
+	Hits   uint64
+	Misses uint64
+	Ops    []RunOp
+	wbTmp  []int64 // per-miss writeback staging (fetches precede writebacks)
+}
+
 // Access performs one demand access to addr. Size is implicit: accesses
-// are block-granular (the caller splits larger requests).
+// are block-granular (the caller splits larger requests). The returned
+// slices are only valid until the next access (see Result).
 func (c *Cache) Access(addr int64, write bool) Result {
+	c.scratch.Ops = c.scratch.Ops[:0]
+	if c.accessOps(addr, write, &c.scratch) {
+		return Result{Hit: true}
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+	c.wbBuf = c.wbBuf[:0]
+	for _, op := range c.scratch.Ops {
+		if op.Kind == RunWriteback {
+			c.wbBuf = append(c.wbBuf, op.Addr)
+		} else {
+			c.fetchBuf = append(c.fetchBuf, op.Addr)
+		}
+	}
+	return Result{Fetches: c.fetchBuf, Writebacks: c.wbBuf}
+}
+
+// accessOps is the single implementation of one demand access. Generated
+// traffic is appended to res.Ops (fetches first, then writebacks, matching
+// the order callers of Access drain Result). It reports whether the access
+// hit.
+func (c *Cache) accessOps(addr int64, write bool, res *RunResult) bool {
 	c.tick++
 	c.stats.Accesses++
-	var res Result
 	set, tag := c.index(addr)
 	if l := c.lookup(set, tag); l != nil {
 		c.stats.Hits++
@@ -145,14 +246,14 @@ func (c *Cache) Access(addr int64, write bool) Result {
 		}
 		l.lastUse = c.tick
 		l.dirty = l.dirty || write
-		res.Hit = true
-		return res
+		return true
 	}
 	// Demand miss: allocate.
 	c.stats.Misses++
-	res.Fetches = append(res.Fetches, addr/int64(c.cfg.BlockBytes)*int64(c.cfg.BlockBytes))
+	res.wbTmp = res.wbTmp[:0]
+	res.Ops = append(res.Ops, RunOp{Addr: c.blockBase(addr), Kind: RunFetchDemand})
 	if wb, ok := c.insert(set, tag, write, false); ok {
-		res.Writebacks = append(res.Writebacks, wb)
+		res.wbTmp = append(res.wbTmp, wb)
 	}
 	// Next-line prefetch on demand miss.
 	for i := 1; i <= c.cfg.PrefetchDegree; i++ {
@@ -162,12 +263,106 @@ func (c *Cache) Access(addr int64, write bool) Result {
 			continue
 		}
 		c.stats.PrefetchIssued++
-		res.Fetches = append(res.Fetches, pAddr/int64(c.cfg.BlockBytes)*int64(c.cfg.BlockBytes))
+		res.Ops = append(res.Ops, RunOp{Addr: c.blockBase(pAddr), Kind: RunFetchPrefetch})
 		if wb, ok := c.insert(pSet, pTag, false, true); ok {
-			res.Writebacks = append(res.Writebacks, wb)
+			res.wbTmp = append(res.wbTmp, wb)
 		}
 	}
-	return res
+	for _, wb := range res.wbTmp {
+		res.Ops = append(res.Ops, RunOp{Addr: wb, Kind: RunWriteback})
+	}
+	return false
+}
+
+// AccessRun performs count sequential demand accesses of stride bytes
+// each, starting at addr, with accounting identical to calling Access once
+// per element: same stats, same replacement state, same traffic in the
+// same order (collected in res.Ops). The first access to each block runs
+// the full lookup/miss/prefetch machinery; the remaining same-block
+// accesses are guaranteed hits and are retired in O(1) per block.
+//
+// The stride must evenly divide the block size and addr must be
+// stride-aligned, so no element straddles a block boundary (the Unit
+// layer falls back to per-access calls otherwise).
+func (c *Cache) AccessRun(addr int64, stride, count int, write bool, res *RunResult) {
+	bb := int64(c.cfg.BlockBytes)
+	if stride <= 0 || bb%int64(stride) != 0 || addr%int64(stride) != 0 {
+		panic(fmt.Sprintf("cache: AccessRun needs a block-aligned stride (addr=%d stride=%d block=%d)", addr, stride, c.cfg.BlockBytes))
+	}
+	res.Hits, res.Misses = 0, 0
+	res.Ops = res.Ops[:0]
+	for count > 0 {
+		blockEnd := (addr/bb + 1) * bb
+		k := int((blockEnd - addr) / int64(stride))
+		if k > count {
+			k = count
+		}
+		// First touch of the block: full per-access semantics.
+		if c.accessOps(addr, write, res) {
+			res.Hits++
+		} else {
+			res.Misses++
+		}
+		if k > 1 {
+			set, tag := c.index(addr)
+			if l := c.lookup(set, tag); l != nil {
+				// The block survived its own prefetches (always, outside
+				// pathologically tiny configurations): the remaining k-1
+				// accesses are hits. Batch their bookkeeping; the final
+				// lastUse/dirty state equals k-1 individual hit updates.
+				m := uint64(k - 1)
+				c.tick += m
+				c.stats.Accesses += m
+				c.stats.Hits += m
+				res.Hits += m
+				if l.prefetched {
+					c.stats.PrefetchHits++
+					l.prefetched = false
+				}
+				l.lastUse = c.tick
+				l.dirty = l.dirty || write
+			} else {
+				// The demand line was evicted by its own prefetch inserts:
+				// replay the remaining accesses one by one.
+				for i := 1; i < k; i++ {
+					if c.accessOps(addr+int64(i*stride), write, res) {
+						res.Hits++
+					} else {
+						res.Misses++
+					}
+				}
+			}
+		}
+		addr = blockEnd
+		count -= k
+	}
+}
+
+// AccessHitRun retires count repeated demand accesses that are known to
+// fall in the single resident block holding addr (e.g. TLB lookups within
+// one page after the first lookup installed the entry). If the block is
+// not resident it reports false and performs no accounting, and the
+// caller must fall back to per-access lookups.
+func (c *Cache) AccessHitRun(addr int64, count int, write bool) bool {
+	if count <= 0 {
+		return true
+	}
+	set, tag := c.index(addr)
+	l := c.lookup(set, tag)
+	if l == nil {
+		return false
+	}
+	m := uint64(count)
+	c.tick += m
+	c.stats.Accesses += m
+	c.stats.Hits += m
+	if l.prefetched {
+		c.stats.PrefetchHits++
+		l.prefetched = false
+	}
+	l.lastUse = c.tick
+	l.dirty = l.dirty || write
+	return true
 }
 
 // lookup returns the matching valid line, updating nothing.

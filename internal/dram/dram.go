@@ -129,6 +129,14 @@ type Device struct {
 	tim   Timing
 	banks []bank
 	stats Stats
+
+	// Shift/mask forms of the row/bank arithmetic, valid when RowBytes
+	// and Banks are powers of two (every modeled configuration).
+	pow2      bool
+	rowShift  uint
+	rowMask   int64 // RowBytes-1
+	bankShift uint
+	bankMask  int64 // Banks-1
 }
 
 // NewDevice creates a DRAM device with the given geometry and timing.
@@ -140,7 +148,25 @@ func NewDevice(g Geometry, t Timing) *Device {
 	for i := range d.banks {
 		d.banks[i].openRow = noRow
 	}
+	if isPow2(g.RowBytes) && isPow2(g.Banks) {
+		d.pow2 = true
+		d.rowShift = log2(g.RowBytes)
+		d.rowMask = int64(g.RowBytes - 1)
+		d.bankShift = log2(g.Banks)
+		d.bankMask = int64(g.Banks - 1)
+	}
 	return d
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 // Geometry returns the device geometry.
@@ -163,8 +189,20 @@ func (d *Device) CloseAllRows() {
 // interleaved across banks so that sequential streams pipeline activations
 // across all banks.
 func (d *Device) locate(addr int64) (bankIdx int, row int64) {
+	if d.pow2 {
+		rowGlobal := addr >> d.rowShift
+		return int(rowGlobal & d.bankMask), rowGlobal >> d.bankShift
+	}
 	rowGlobal := addr / int64(d.geom.RowBytes)
 	return int(rowGlobal % int64(d.geom.Banks)), rowGlobal / int64(d.geom.Banks)
+}
+
+// rowOffset returns addr's offset within its row.
+func (d *Device) rowOffset(addr int64) int64 {
+	if d.pow2 {
+		return addr & d.rowMask
+	}
+	return addr % int64(d.geom.RowBytes)
 }
 
 // Access performs one DRAM access of size bytes at a vault-local address.
@@ -174,7 +212,7 @@ func (d *Device) Access(addr int64, size int, write bool) float64 {
 	if size <= 0 {
 		panic("dram: access size must be positive")
 	}
-	if off := addr % int64(d.geom.RowBytes); int(off)+size > d.geom.RowBytes {
+	if off := d.rowOffset(addr); int(off)+size > d.geom.RowBytes {
 		panic(fmt.Sprintf("dram: access [%d,+%d) crosses a %dB row boundary", addr, size, d.geom.RowBytes))
 	}
 	bi, row := d.locate(addr)
@@ -222,7 +260,7 @@ func (d *Device) AccessRange(addr int64, size int, write bool) float64 {
 	}
 	var total float64
 	for size > 0 {
-		rowOff := int(addr % int64(d.geom.RowBytes))
+		rowOff := int(d.rowOffset(addr))
 		chunk := d.geom.RowBytes - rowOff
 		if chunk > size {
 			chunk = size
@@ -232,6 +270,93 @@ func (d *Device) AccessRange(addr int64, size int, write bool) float64 {
 		size -= chunk
 	}
 	return total
+}
+
+// AccessRun performs count sequential accesses of stride bytes each,
+// starting at addr, with accounting identical to calling Access once per
+// element: the same row-hit/miss classification, the same per-access
+// floating-point additions to bank busy time and bus occupancy in the same
+// order (float addition is order-sensitive, so the adds are not regrouped).
+// If stallAccum is non-nil, each element's latency is added to it, exactly
+// as a caller looping over Access and accumulating latencies would.
+//
+// The fast path requires that the stride evenly divide the row size and
+// that addr be stride-aligned, so no element straddles a row; other shapes
+// fall back to per-element AccessRange calls.
+func (d *Device) AccessRun(addr int64, stride, count int, write bool, stallAccum *float64) {
+	rb := int64(d.geom.RowBytes)
+	if stride <= 0 || rb%int64(stride) != 0 || addr%int64(stride) != 0 {
+		for i := 0; i < count; i++ {
+			lat := d.AccessRange(addr+int64(i)*int64(stride), stride, write)
+			if stallAccum != nil {
+				*stallAccum += lat
+			}
+		}
+		return
+	}
+	xfer := d.geom.transferNs(stride)
+	hitLat := d.tim.TCAS + xfer
+	writeRecovery := hitLat + d.tim.TWR
+	for count > 0 {
+		rowEnd := addr - d.rowOffset(addr) + rb
+		k := int((rowEnd - addr) / int64(stride))
+		if k > count {
+			k = count
+		}
+		bi, row := d.locate(addr)
+		b := &d.banks[bi]
+		// First element of the row: full open-row resolution.
+		var lat float64
+		switch {
+		case b.openRow == row:
+			d.stats.RowHits++
+			lat = d.tim.TCAS
+		case b.openRow == noRow:
+			d.stats.RowColdMisses++
+			d.stats.Activations++
+			b.openRow = row
+			lat = d.tim.TRCD + d.tim.TCAS
+		default:
+			d.stats.RowConflicts++
+			d.stats.Activations++
+			b.openRow = row
+			lat = d.tim.TRP + d.tim.TRCD + d.tim.TCAS
+		}
+		lat += xfer
+		if write {
+			b.busyNs += lat + d.tim.TWR
+		} else {
+			b.busyNs += lat
+		}
+		d.stats.BusNs += xfer
+		if stallAccum != nil {
+			*stallAccum += lat
+		}
+		// Remaining elements in this row are guaranteed row hits (nothing
+		// else touches the bank mid-run). Integer tallies batch; the float
+		// accumulators still receive one addition per element.
+		d.stats.RowHits += uint64(k - 1)
+		for i := 1; i < k; i++ {
+			if write {
+				b.busyNs += writeRecovery
+			} else {
+				b.busyNs += hitLat
+			}
+			d.stats.BusNs += xfer
+			if stallAccum != nil {
+				*stallAccum += hitLat
+			}
+		}
+		if write {
+			d.stats.Writes += uint64(k)
+			d.stats.WriteBytes += uint64(k * stride)
+		} else {
+			d.stats.Reads += uint64(k)
+			d.stats.ReadBytes += uint64(k * stride)
+		}
+		addr = rowEnd
+		count -= k
+	}
 }
 
 // BusyNs returns the device-level busy time: the maximum over banks of

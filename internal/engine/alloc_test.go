@@ -1,0 +1,88 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// The bulk-access work removed every steady-state allocation from the
+// per-access hot paths (cache results, block-split closures, trace
+// events). These tests pin that property so it cannot regress silently.
+
+// sweepUnit reads a region tuple by tuple through the scalar accessor —
+// the per-access hot path shared by every operator reference loop.
+func sweepUnit(u *Unit, r *Region, n int) {
+	for i := 0; i < n; i++ {
+		u.ReadBytes(r.Addr+int64(i)*tuple.Size, tuple.Size)
+	}
+}
+
+func TestUnitAccessZeroAllocSteadyState(t *testing.T) {
+	const n = 4096 // 64 KB: misses in the L1, TLB-resident
+	cases := map[string]Config{
+		"cpu":      cpuConfig(),
+		"nmp":      nmpConfig(false),
+		"mondrian": mondrianConfig(),
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			e := mustEngine(t, cfg)
+			r, err := e.Place(0, make([]tuple.Tuple, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := e.Units()[0]
+			sweepUnit(u, r, n) // warm caches, TLBs and internal buffers
+			allocs := testing.AllocsPerRun(5, func() { sweepUnit(u, r, n) })
+			if allocs != 0 {
+				t.Errorf("Unit.access allocates %.1f times per %d-tuple sweep in steady state", allocs, n)
+			}
+		})
+	}
+}
+
+func TestUnitBulkAccessZeroAllocSteadyState(t *testing.T) {
+	const n = 4096
+	for name, cfg := range map[string]Config{"nmp": nmpConfig(false), "mondrian": mondrianConfig()} {
+		t.Run(name, func(t *testing.T) {
+			e := mustEngine(t, cfg)
+			r, err := e.Place(0, make([]tuple.Tuple, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := e.Units()[0]
+			run := func() { u.ReadRunBytes(r.Addr, tuple.Size, n) }
+			run()
+			if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+				t.Errorf("ReadRunBytes allocates %.1f times per run in steady state", allocs)
+			}
+		})
+	}
+}
+
+// nullTracer counts events without storing them, so the measurement sees
+// only the engine's own buffering allocations.
+type nullTracer struct{ n int }
+
+func (t *nullTracer) Access(unit int, kind AccessKind, addr int64, size int, write bool) { t.n++ }
+
+func TestTraceBufferZeroAllocSteadyState(t *testing.T) {
+	const n = 1024
+	e := mustEngine(t, nmpConfig(false))
+	e.SetTracer(&nullTracer{})
+	r, err := e.Place(0, make([]tuple.Tuple, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := e.Units()[0]
+	sweep := func() {
+		e.beginTraceBuffer()
+		sweepUnit(u, r, n)
+		e.flushTraceBuffer()
+	}
+	sweep() // grow the per-unit buffers to steady state
+	if allocs := testing.AllocsPerRun(5, sweep); allocs != 0 {
+		t.Errorf("trace buffering allocates %.1f times per %d-event sweep in steady state", allocs, n)
+	}
+}

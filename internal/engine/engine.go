@@ -81,6 +81,12 @@ type Config struct {
 	// Ignored by the CPU architecture, whose cores share the LLC and
 	// chip mesh and therefore must be evaluated in order.
 	Parallelism int
+	// NoBulk disables the batched run-based access fast path: operators
+	// fall back to their per-tuple reference loops and the run accessors
+	// degrade to per-element accesses. Simulated results are byte-identical
+	// either way (the differential tests assert it); only host wall-clock
+	// time changes. Intended for debugging and the differential suite.
+	NoBulk bool
 }
 
 // Validate checks internal consistency.
@@ -157,6 +163,16 @@ type Tracer interface {
 	Access(unit int, kind AccessKind, addr int64, size int, write bool)
 }
 
+// RunTracer is an optional Tracer extension for run-length-encoded
+// observation: one AccessRun call stands for count accesses of size bytes
+// at addr, addr+stride, addr+2·stride, … . Tracers that do not implement
+// it receive the expanded per-access calls instead, so either way the
+// observed access stream is identical.
+type RunTracer interface {
+	Tracer
+	AccessRun(unit int, kind AccessKind, addr int64, size, stride, count int, write bool)
+}
+
 // Engine is one configured system instance.
 type Engine struct {
 	cfg    Config
@@ -164,6 +180,12 @@ type Engine struct {
 	llc    *cache.Cache // CPU only, shared
 	mesh   *noc.Mesh    // CPU-side tile mesh (CPU only)
 	tracer Tracer
+
+	// Shift/mask form of the block-interleaved NUCA bank hash
+	// (addr/blockBytes mod tiles), valid when both are powers of two;
+	// nucaShift==0 means "use the divide path".
+	nucaShift uint
+	nucaMask  int64
 
 	units []*Unit
 
@@ -191,6 +213,12 @@ func New(cfg Config) (*Engine, error) {
 	case CPU:
 		e.llc = cache.New(cfg.LLC)
 		e.mesh = noc.NewMesh(4, 4) // 16-tile CPU chip (Fig. 5)
+		if bb, tiles := cfg.L1.BlockBytes, e.mesh.Tiles(); bb > 0 && bb&(bb-1) == 0 && tiles&(tiles-1) == 0 {
+			for b := bb; b > 1; b >>= 1 {
+				e.nucaShift++
+			}
+			e.nucaMask = int64(tiles - 1)
+		}
 		for i := 0; i < cfg.CPUCores; i++ {
 			u := &Unit{ID: i, engine: e, L1: cache.New(cfg.L1), tile: i % e.mesh.Tiles()}
 			// 64-entry L1 TLB and 1024-entry L2 TLB over 4 KB pages

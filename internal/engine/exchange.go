@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/ecocloud-go/mondrian/internal/hmc"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
@@ -145,18 +144,46 @@ func (x *Exchange) Flush() error {
 	}
 	err := e.forEach(nv, func(d int) error {
 		dst := x.dests[d]
-		var arr []arrival
+		total := 0
 		for s := range x.boxes {
-			for _, m := range x.boxes[s].perDst[d] {
-				arr = append(arr, arrival{src: s, m: m})
+			total += len(x.boxes[s].perDst[d])
+		}
+		// Arrival order is (seq, src). Each source's staged list is
+		// already seq-sorted and sources are visited in src order, so a
+		// stable counting sort by seq reproduces the comparison sort's
+		// permutation in O(n + maxSeq) without per-element comparisons.
+		maxSeq := int32(-1)
+		for s := range x.boxes {
+			if l := x.boxes[s].perDst[d]; len(l) > 0 {
+				if q := l[len(l)-1].seq; q > maxSeq {
+					maxSeq = q
+				}
 			}
 		}
-		sort.Slice(arr, func(i, j int) bool {
-			if arr[i].m.seq != arr[j].m.seq {
-				return arr[i].m.seq < arr[j].m.seq
+		counts := make([]int32, maxSeq+2)
+		for s := range x.boxes {
+			for _, m := range x.boxes[s].perDst[d] {
+				counts[m.seq+1]++
 			}
-			return arr[i].src < arr[j].src
-		})
+		}
+		for i := 1; i < len(counts); i++ {
+			counts[i] += counts[i-1]
+		}
+		arr := make([]arrival, total)
+		for s := range x.boxes {
+			for _, m := range x.boxes[s].perDst[d] {
+				arr[counts[m.seq]] = arrival{src: s, m: m}
+				counts[m.seq]++
+			}
+		}
+		// Permutable destinations are strictly sequential appends: the
+		// controller ignores target addresses and bumps its append offset
+		// once per object, so the whole arrival list can retire as one
+		// DRAM run. Tracing keeps the per-arrival loop (events carry
+		// per-source attribution); so does NoBulk.
+		if x.perm && !e.cfg.NoBulk && shards == nil && dst.Vault.ShuffleActive() {
+			return x.applyPermutableRun(dst, arr)
+		}
 		for _, a := range arr {
 			if x.perm {
 				if len(dst.Tuples) >= dst.cap {
@@ -211,6 +238,28 @@ func (x *Exchange) Flush() error {
 		}
 	}
 	return nil
+}
+
+// applyPermutableRun retires a destination's sorted arrival list as one
+// sequential permutable-append run — byte-identical accounting to the
+// per-arrival loop, including the partial-application semantics on
+// overflow (writes preceding the overflowing arrival land; the error
+// matches the one the scalar loop would have returned for that arrival).
+func (x *Exchange) applyPermutableRun(dst *Region, arr []arrival) error {
+	apply := len(arr)
+	var fullErr error
+	if avail := dst.cap - len(dst.Tuples); apply > avail {
+		apply = avail
+		fullErr = fmt.Errorf("%w: region in vault %d full", hmc.ErrRegionOverflow, dst.Vault.ID)
+	}
+	_, n, err := dst.Vault.PermutableWriteRun(tuple.Size, apply)
+	for i := 0; i < n; i++ {
+		dst.Tuples = append(dst.Tuples, arr[i].m.t) // arrival order IS the layout
+	}
+	if err != nil {
+		return err
+	}
+	return fullErr
 }
 
 // recordRouteBulk applies the interconnect statistics of n identical

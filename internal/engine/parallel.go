@@ -141,13 +141,16 @@ func (e *Engine) forEach(n int, fn func(i int) error) error {
 	return nil
 }
 
-// traceEvent is one buffered Tracer.Access call.
+// traceEvent is one buffered tracer call: a single access (count == 1) or
+// a run-length-encoded run of count accesses stride bytes apart.
 type traceEvent struct {
-	unit  int
-	kind  AccessKind
-	addr  int64
-	size  int
-	write bool
+	unit   int
+	kind   AccessKind
+	addr   int64
+	size   int
+	stride int
+	count  int
+	write  bool
 }
 
 // trace emits one access to the installed tracer, buffering per unit
@@ -159,10 +162,40 @@ func (u *Unit) trace(kind AccessKind, addr int64, size int, write bool) {
 		return
 	}
 	if u.buffering {
-		u.traceBuf = append(u.traceBuf, traceEvent{unit: u.ID, kind: kind, addr: addr, size: size, write: write})
+		u.traceBuf = append(u.traceBuf, traceEvent{unit: u.ID, kind: kind, addr: addr, size: size, count: 1, write: write})
 		return
 	}
 	e.tracer.Access(u.ID, kind, addr, size, write)
+}
+
+// traceRun emits a run of count accesses as one record: tracers that speak
+// RunTracer get a single run-length-encoded event, others get the expanded
+// per-access stream. Runs buffer as one entry during parallel sections.
+func (u *Unit) traceRun(kind AccessKind, addr int64, size, stride, count int, write bool) {
+	e := u.engine
+	if e.tracer == nil || count <= 0 {
+		return
+	}
+	if u.buffering {
+		u.traceBuf = append(u.traceBuf, traceEvent{unit: u.ID, kind: kind, addr: addr, size: size, stride: stride, count: count, write: write})
+		return
+	}
+	emitRun(e.tracer, u.ID, kind, addr, size, stride, count, write)
+}
+
+// emitRun delivers one run to a tracer, run-length-encoded when supported.
+func emitRun(t Tracer, unit int, kind AccessKind, addr int64, size, stride, count int, write bool) {
+	if count == 1 {
+		t.Access(unit, kind, addr, size, write)
+		return
+	}
+	if rt, ok := t.(RunTracer); ok {
+		rt.AccessRun(unit, kind, addr, size, stride, count, write)
+		return
+	}
+	for i := 0; i < count; i++ {
+		t.Access(unit, kind, addr+int64(i)*int64(stride), size, write)
+	}
 }
 
 // beginTraceBuffer switches every unit to buffered tracing for the
@@ -180,7 +213,7 @@ func (e *Engine) flushTraceBuffer() {
 	for _, u := range e.units {
 		u.buffering = false
 		for _, ev := range u.traceBuf {
-			e.tracer.Access(ev.unit, ev.kind, ev.addr, ev.size, ev.write)
+			emitRun(e.tracer, ev.unit, ev.kind, ev.addr, ev.size, ev.stride, ev.count, ev.write)
 		}
 		u.traceBuf = u.traceBuf[:0]
 	}

@@ -74,6 +74,41 @@ func (s *StreamReader) Next() (tuple.Tuple, bool) {
 	return t, true
 }
 
+// NextRun consumes the next n tuples as one sequential run and returns
+// them (a view into the region — callers must not mutate it). The charged
+// traffic is byte-identical to n Next calls: on stream-buffer units the
+// refill sequence is a deterministic function of the pop sequence, and on
+// cache-backed units the demand reads batch through ReadRunBytes.
+func (s *StreamReader) NextRun(n int) []tuple.Tuple {
+	if n <= 0 {
+		return nil
+	}
+	if s.pos+n > len(s.r.Tuples) {
+		panic(fmt.Sprintf("engine: stream run of %d past %d remaining", n, len(s.r.Tuples)-s.pos))
+	}
+	ts := s.r.Tuples[s.pos : s.pos+n]
+	if s.stream >= 0 {
+		if !s.u.Streams.PopRun(s.stream, tuple.Size, n) {
+			panic("engine: stream buffer out of sync with region")
+		}
+	} else {
+		s.u.ReadRunBytes(s.r.addrOf(s.pos), tuple.Size, n)
+	}
+	s.pos += n
+	return ts
+}
+
+// Streamed reports whether the reader consumes through the vault's
+// stream buffers (pops are free; only granule refills touch DRAM) as
+// opposed to issuing a demand read per tuple.
+func (s *StreamReader) Streamed() bool { return s.stream >= 0 }
+
+// NextFills reports whether the next Next() would issue DRAM refill
+// traffic. Only meaningful for streamed readers; it has no side effects.
+func (s *StreamReader) NextFills() bool {
+	return s.u.Streams.PopFills(s.stream, tuple.Size)
+}
+
 // Remaining returns how many tuples are left.
 func (s *StreamReader) Remaining() int { return len(s.r.Tuples) - s.pos }
 

@@ -44,7 +44,15 @@ type Unit struct {
 	// collected per unit and replayed in unit-ID order at the join.
 	buffering bool
 	traceBuf  []traceEvent
+
+	// runRes is the reusable tally for bulk cache runs (accessRun).
+	runRes cache.RunResult
 }
+
+// Bulk reports whether the batched run-based fast path is enabled for
+// this unit's engine (see Config.NoBulk). Operators consult it to pick
+// between their run-based loops and the per-tuple reference loops.
+func (u *Unit) Bulk() bool { return !u.engine.cfg.NoBulk }
 
 // Charge adds retired instructions to the unit's current step. The
 // operator cost model (internal/operators) decides the amounts; SIMD
@@ -60,15 +68,20 @@ func (u *Unit) Charge(insts float64) {
 // Instructions returns the instructions charged in the current step.
 func (u *Unit) Instructions() float64 { return u.insts }
 
-// --- demand access paths -------------------------------------------------
-
-// blockSplit applies fn to each cache-block-sized piece of [addr, addr+size).
-func blockSplit(addr int64, size, block int, fn func(addr int64)) {
-	end := addr + int64(size)
-	for a := addr / int64(block) * int64(block); a < end; a += int64(block) {
-		fn(a)
+// ChargeRun adds n per-tuple instruction charges — the same accumulation,
+// in the same order, as n Charge(insts) calls (the addends are identical,
+// so the float sums agree bit-for-bit).
+func (u *Unit) ChargeRun(insts float64, n int) {
+	if insts < 0 {
+		panic("engine: negative instruction charge")
+	}
+	for i := 0; i < n; i++ {
+		u.insts += insts
+		u.instTotal += insts
 	}
 }
+
+// --- demand access paths -------------------------------------------------
 
 // ReadBytes performs a demand read. Cache hits are free (their latency is
 // folded into the dependency IPC); misses charge the full path latency as
@@ -85,6 +98,19 @@ func (u *Unit) WriteBytes(addr int64, size int) {
 	u.access(addr, size, true)
 }
 
+// ReadRunBytes performs count sequential demand reads of stride bytes
+// each, starting at addr — accounting byte-identical to count ReadBytes
+// calls, but retired with one walk over the touched cache blocks (or DRAM
+// rows) instead of one full traversal per element.
+func (u *Unit) ReadRunBytes(addr int64, stride, count int) {
+	u.accessRun(addr, stride, count, false)
+}
+
+// WriteRunBytes is the write-side counterpart of ReadRunBytes.
+func (u *Unit) WriteRunBytes(addr int64, stride, count int) {
+	u.accessRun(addr, stride, count, true)
+}
+
 func (u *Unit) access(addr int64, size int, write bool) {
 	if size <= 0 {
 		panic("engine: access size must be positive")
@@ -94,20 +120,150 @@ func (u *Unit) access(addr int64, size int, write bool) {
 	u.trace(TraceDemand, addr, size, write)
 	switch e.cfg.Arch {
 	case CPU:
-		blockSplit(addr, size, u.L1.Config().BlockBytes, func(a int64) {
+		block := int64(u.L1.Config().BlockBytes)
+		end := addr + int64(size)
+		for a := addr / block * block; a < end; a += block {
 			u.cpuBlockAccess(a, write)
-		})
+		}
 	default:
 		if u.L1 != nil {
-			blockSplit(addr, size, u.L1.Config().BlockBytes, func(a int64) {
+			block := int64(u.L1.Config().BlockBytes)
+			end := addr + int64(size)
+			for a := addr / block * block; a < end; a += block {
 				u.nmpBlockAccess(a, write)
-			})
+			}
 			return
 		}
 		// Cacheless Mondrian unit: direct vault access.
 		lat := u.directAccess(addr, size, write)
 		if !write {
 			u.stallRawNs += lat
+		}
+	}
+}
+
+// accessRun is the bulk demand path: one trace record, one accesses tally,
+// and one walk over the run's cache blocks / DRAM rows for count elements.
+// Shapes the fast path cannot prove equivalent — unaligned strides, runs
+// leaving the unit's home vault, NoBulk mode — fall back to per-element
+// access calls, which are the reference semantics by definition.
+func (u *Unit) accessRun(addr int64, stride, count int, write bool) {
+	if count <= 0 {
+		return
+	}
+	if stride <= 0 {
+		panic("engine: access size must be positive")
+	}
+	e := u.engine
+	if count == 1 || e.cfg.NoBulk || !u.runnable(addr, stride, count) {
+		for i := 0; i < count; i++ {
+			u.access(addr+int64(i)*int64(stride), stride, write)
+		}
+		return
+	}
+	u.accesses += uint64(count)
+	u.traceRun(TraceDemand, addr, stride, stride, count, write)
+	switch e.cfg.Arch {
+	case CPU:
+		u.cpuRunAccess(addr, stride, count, write)
+	default:
+		if u.L1 != nil {
+			u.nmpRunAccess(addr, stride, count, write)
+			return
+		}
+		// Cacheless unit, local vault: the route adds zero latency, so
+		// each element's stall is exactly its DRAM latency.
+		if write {
+			u.Vault.WriteRun(addr, stride, count)
+		} else {
+			u.Vault.ReadRun(addr, stride, count, &u.stallRawNs)
+		}
+	}
+}
+
+// runnable reports whether the bulk path can retire this run with provably
+// identical accounting: elements must not straddle cache blocks or DRAM
+// rows (stride-aligned, power-of-two-dividing strides), and on vault-
+// resident units the run must stay inside the home vault so route latency
+// is uniformly zero.
+func (u *Unit) runnable(addr int64, stride, count int) bool {
+	e := u.engine
+	if u.L1 != nil {
+		block := int64(u.L1.Config().BlockBytes)
+		if block%int64(stride) != 0 || addr%int64(stride) != 0 {
+			return false
+		}
+	}
+	row := int64(e.cfg.Geometry.RowBytes)
+	if row%int64(stride) != 0 || addr%int64(stride) != 0 {
+		return false
+	}
+	if e.cfg.Arch != CPU && u.L1 == nil {
+		// Cacheless path goes straight at the vault: require residence.
+		last := addr + int64(stride)*int64(count) - 1
+		if u.Vault == nil || !u.Vault.Contains(addr) || !u.Vault.Contains(last) {
+			return false
+		}
+	}
+	return true
+}
+
+// cpuRunAccess retires a sequential run on a CPU core: per page, one full
+// TLB lookup plus batched TLB hits (the first lookup installs the entry);
+// per L1 block, the cache's own bulk walk; misses route through the LLC
+// exactly as the per-element path does, demand fetches stalling and
+// prefetches overlapping.
+func (u *Unit) cpuRunAccess(addr int64, stride, count int, write bool) {
+	block := u.L1.Config().BlockBytes
+	for count > 0 {
+		pageEnd := (addr/pageBytes + 1) * pageBytes
+		k := int((pageEnd - addr + int64(stride) - 1) / int64(stride))
+		if k > count {
+			k = count
+		}
+		u.stallRawNs += u.tlbLookup(addr)
+		if k > 1 && !u.tlbL1.AccessHitRun(addr+int64(stride), k-1, false) {
+			// The first lookup always installs the page's entry; this
+			// branch only runs on pathological TLB geometries.
+			for i := 1; i < k; i++ {
+				u.stallRawNs += u.tlbLookup(addr + int64(i)*int64(stride))
+			}
+		}
+		u.L1.AccessRun(addr, stride, k, write, &u.runRes)
+		for _, op := range u.runRes.Ops {
+			switch op.Kind {
+			case cache.RunFetchDemand:
+				// Only the demand block stalls; prefetches overlap.
+				u.stallRawNs += u.cpuFetchFromLLC(op.Addr, block)
+			case cache.RunFetchPrefetch:
+				u.cpuFetchFromLLC(op.Addr, block)
+			case cache.RunWriteback:
+				u.cpuWritebackToLLC(op.Addr, block)
+			}
+		}
+		addr += int64(k) * int64(stride)
+		count -= k
+	}
+}
+
+// nmpRunAccess retires a sequential run on a cache-backed vault unit: the
+// L1 batches same-block hits, and the miss traffic list replays through
+// the fabric in the per-element order (demand fetch stalls, prefetches and
+// writebacks only occupy bandwidth).
+func (u *Unit) nmpRunAccess(addr int64, stride, count int, write bool) {
+	u.L1.AccessRun(addr, stride, count, write, &u.runRes)
+	block := u.L1.Config().BlockBytes
+	for _, op := range u.runRes.Ops {
+		switch op.Kind {
+		case cache.RunFetchDemand:
+			lat := u.directAccess(op.Addr, block, false)
+			if !write {
+				u.stallRawNs += lat
+			}
+		case cache.RunFetchPrefetch:
+			u.directAccess(op.Addr, block, false)
+		case cache.RunWriteback:
+			u.directAccess(op.Addr, block, true)
 		}
 	}
 }
@@ -166,7 +322,7 @@ func (u *Unit) cpuBlockAccess(addr int64, write bool) {
 // cpuFetchFromLLC brings one block from the LLC (or DRAM below it).
 func (u *Unit) cpuFetchFromLLC(addr int64, block int) float64 {
 	e := u.engine
-	bank := int(addr/int64(block)) % e.mesh.Tiles() // block-interleaved NUCA
+	bank := e.nucaBank(addr, block) // block-interleaved NUCA
 	lat := e.mesh.Transfer(u.tile, bank, block)
 	res := e.llc.Access(addr, false)
 	lat += e.llc.Config().HitLatencyNs
@@ -189,10 +345,20 @@ func (u *Unit) cpuFetchFromLLC(addr int64, block int) float64 {
 	return lat
 }
 
+// nucaBank hashes a block address onto an LLC tile (block-interleaved
+// NUCA), in shift/mask form when the block size matches the precomputed
+// power-of-two geometry.
+func (e *Engine) nucaBank(addr int64, block int) int {
+	if e.nucaShift > 0 && block == 1<<e.nucaShift {
+		return int((addr >> e.nucaShift) & e.nucaMask)
+	}
+	return int(addr/int64(block)) % e.mesh.Tiles()
+}
+
 // cpuWritebackToLLC spills one dirty L1 block into the LLC.
 func (u *Unit) cpuWritebackToLLC(addr int64, block int) {
 	e := u.engine
-	bank := int(addr/int64(block)) % e.mesh.Tiles()
+	bank := e.nucaBank(addr, block)
 	e.mesh.Transfer(u.tile, bank, block)
 	res := e.llc.Access(addr, true)
 	if res.Hit {
@@ -290,6 +456,48 @@ func (u *Unit) AppendLocal(r *Region, t tuple.Tuple) {
 	idx := len(r.Tuples)
 	r.Tuples = append(r.Tuples, t)
 	u.WriteBytes(r.addrOf(idx), tuple.Size)
+}
+
+// LoadRun reads tuples [start, start+n) of region r as one sequential run
+// and returns them (a view into the region's backing store — callers must
+// not mutate it). Accounting is byte-identical to n LoadTuple calls.
+func (u *Unit) LoadRun(r *Region, start, n int) []tuple.Tuple {
+	if n == 0 {
+		return nil
+	}
+	if start < 0 || n < 0 || start+n > len(r.Tuples) {
+		panic(fmt.Sprintf("engine: load run [%d,+%d) outside region of %d", start, n, len(r.Tuples)))
+	}
+	u.ReadRunBytes(r.addrOf(start), tuple.Size, n)
+	return r.Tuples[start : start+n]
+}
+
+// StoreRun writes ts into region r at start as one sequential run —
+// accounting byte-identical to len(ts) StoreTuple calls.
+func (u *Unit) StoreRun(r *Region, start int, ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if start < 0 || start+len(ts) > r.cap {
+		panic(fmt.Sprintf("engine: store run [%d,+%d) outside capacity %d", start, len(ts), r.cap))
+	}
+	ensureLen(r, start+len(ts))
+	copy(r.Tuples[start:], ts)
+	u.WriteRunBytes(r.addrOf(start), tuple.Size, len(ts))
+}
+
+// AppendRunLocal appends ts to a region in the unit's own vault as one
+// sequential run — accounting byte-identical to len(ts) AppendLocal calls.
+func (u *Unit) AppendRunLocal(r *Region, ts []tuple.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if len(r.Tuples)+len(ts) > r.cap {
+		panic("engine: append past region capacity")
+	}
+	idx := len(r.Tuples)
+	r.Tuples = append(r.Tuples, ts...)
+	u.WriteRunBytes(r.addrOf(idx), tuple.Size, len(ts))
 }
 
 func ensureLen(r *Region, n int) {

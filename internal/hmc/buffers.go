@@ -156,6 +156,59 @@ func (s *StreamBufferSet) Pop(i, n int) bool {
 	return true
 }
 
+// PopRun advances stream i by count pops of stride bytes each, issuing
+// exactly the refill reads the equivalent Pop loop would — the fill
+// sequence is a deterministic function of the pop sequence, so the vault
+// sees identical traffic. It reports whether all count pops fit (nothing
+// is consumed otherwise).
+func (s *StreamBufferSet) PopRun(i, stride, count int) bool {
+	if i < 0 || i >= len(s.streams) {
+		panic(fmt.Sprintf("hmc: stream %d not configured", i))
+	}
+	st := &s.streams[i]
+	if st.next+int64(stride)*int64(count) > st.end {
+		return false
+	}
+	// next advances monotonically, so the per-pop fill condition is
+	// loosest at the final offset: the run issues exactly the granule
+	// chunks the equivalent Pop loop would, in the same address order.
+	// Full granules batch into one DRAM run (each granule is one whole
+	// row, so per-row accounting is identical to individual reads); the
+	// clipped tail chunk, if any, is last.
+	st.next += int64(stride) * int64(count)
+	start := st.filledUntil
+	fullChunks := 0
+	var tail int64
+	for st.filledUntil < st.end && st.filledUntil-st.next < StreamBufferBytes {
+		chunk := int64(streamFillGranule)
+		if st.filledUntil+chunk > st.end {
+			chunk = st.end - st.filledUntil
+			tail = chunk
+		} else {
+			fullChunks++
+		}
+		s.FillBytes += uint64(chunk)
+		st.filledUntil += chunk
+	}
+	if fullChunks > 0 {
+		s.vault.ReadRun(start, streamFillGranule, fullChunks, nil)
+	}
+	if tail > 0 {
+		s.vault.Read(st.filledUntil-tail, int(tail))
+	}
+	return true
+}
+
+// PopFills reports whether the next n-byte Pop on stream i would issue
+// at least one DRAM fill. It has no side effects.
+func (s *StreamBufferSet) PopFills(i, n int) bool {
+	if i < 0 || i >= len(s.streams) {
+		panic(fmt.Sprintf("hmc: stream %d not configured", i))
+	}
+	st := &s.streams[i]
+	return st.filledUntil < st.end && st.filledUntil-(st.next+int64(n)) < StreamBufferBytes
+}
+
 // Remaining returns how many bytes stream i still holds (including data
 // not yet prefetched).
 func (s *StreamBufferSet) Remaining(i int) int64 {

@@ -25,6 +25,11 @@ type System struct {
 	VaultCap int64
 
 	vaults []*Vault // flat view, indexed by global vault ID
+
+	// vaultShift is the shift form of the address→vault division, valid
+	// when VaultCap is a power of two (every modeled configuration); 0
+	// means "use the divide path".
+	vaultShift uint
 }
 
 // NewSystem builds the memory fabric. vaultsPerCube must be a square so
@@ -40,6 +45,11 @@ func NewSystem(cubes, vaultsPerCube int, topo noc.Topology, geom dram.Geometry, 
 	s := &System{
 		Net:      noc.NewNetwork(topo, cubes),
 		VaultCap: geom.CapacityBytes,
+	}
+	if cap := geom.CapacityBytes; cap > 1 && cap&(cap-1) == 0 {
+		for c := cap; c > 1; c >>= 1 {
+			s.vaultShift++
+		}
 	}
 	id := 0
 	for c := 0; c < cubes; c++ {
@@ -71,7 +81,12 @@ func (s *System) Vaults() []*Vault { return s.vaults }
 
 // VaultOf maps a global physical address to its owning vault.
 func (s *System) VaultOf(addr int64) *Vault {
-	idx := addr / s.VaultCap
+	var idx int64
+	if s.vaultShift > 0 {
+		idx = addr >> s.vaultShift
+	} else {
+		idx = addr / s.VaultCap
+	}
 	if addr < 0 || idx >= int64(len(s.vaults)) {
 		panic(fmt.Sprintf("hmc: address %#x outside the %d-vault space", addr, len(s.vaults)))
 	}

@@ -101,6 +101,34 @@ func (v *Vault) Write(addr int64, size int) float64 {
 	return v.DRAM.AccessRange(v.local(addr), size, true)
 }
 
+// ReadRun performs count sequential reads of stride bytes each starting at
+// a global address — accounting identical to count Read calls. Each read's
+// latency is added to stallAccum when non-nil, preserving the per-access
+// float-addition order a scalar caller would produce.
+func (v *Vault) ReadRun(addr int64, stride, count int, stallAccum *float64) {
+	if count <= 0 {
+		return
+	}
+	end := addr + int64(stride)*int64(count) - 1
+	if !v.Contains(addr) || !v.Contains(end) {
+		panic(fmt.Sprintf("hmc: run [%#x,%#x] not in vault %d", addr, end, v.ID))
+	}
+	v.DRAM.AccessRun(addr-v.Base, stride, count, false, stallAccum)
+}
+
+// WriteRun performs count sequential address-preserving writes of stride
+// bytes each — accounting identical to count Write calls.
+func (v *Vault) WriteRun(addr int64, stride, count int) {
+	if count <= 0 {
+		return
+	}
+	end := addr + int64(stride)*int64(count) - 1
+	if !v.Contains(addr) || !v.Contains(end) {
+		panic(fmt.Sprintf("hmc: run [%#x,%#x] not in vault %d", addr, end, v.ID))
+	}
+	v.DRAM.AccessRun(addr-v.Base, stride, count, true, nil)
+}
+
 // SetPermRegion programs the controller's permutable-region registers.
 // Object sizes above 256 B are rejected: the object buffer bounds the
 // granularity of permutability (§5.3); larger objects already enjoy row
@@ -161,6 +189,37 @@ func (v *Vault) PermutableWrite(origAddr int64, size int) (int64, float64, error
 	v.PermutedWrites++
 	lat := v.Write(addr, size)
 	return addr, lat, nil
+}
+
+// PermutableWriteRun appends count object-sized messages while the region
+// is armed, with accounting identical to count PermutableWrite calls whose
+// targets fall inside the region. It returns the global address of the
+// first append, how many writes were applied, and an error if the region
+// overflowed mid-run — in which case, exactly like the scalar loop, the
+// writes preceding the overflow have already been applied.
+func (v *Vault) PermutableWriteRun(size, count int) (int64, int, error) {
+	if !v.perm.active {
+		return 0, 0, errors.New("hmc: PermutableWriteRun while shuffle not armed")
+	}
+	if count <= 0 {
+		return v.perm.Base + v.perm.appendOff, 0, nil
+	}
+	applied := count
+	if free := v.perm.Size - v.perm.appendOff; int64(applied)*int64(size) > free {
+		applied = int(free / int64(size))
+	}
+	start := v.perm.Base + v.perm.appendOff
+	if applied > 0 {
+		v.perm.appendOff += int64(applied) * int64(size)
+		v.perm.writtenBytes += int64(applied) * int64(size)
+		v.PermutedWrites += uint64(applied)
+		v.DRAM.AccessRun(start-v.Base, size, applied, true, nil)
+	}
+	if applied < count {
+		return start, applied, fmt.Errorf("%w: vault %d append %d past %d",
+			ErrRegionOverflow, v.ID, v.perm.appendOff+int64(size), v.perm.Size)
+	}
+	return start, applied, nil
 }
 
 // RecordInbound tracks address-preserving shuffle traffic so completion

@@ -20,6 +20,10 @@ type Mesh struct {
 	HopMM         float64 // physical length of one hop in millimetres
 
 	stats MeshStats
+
+	// hops[src*tiles+dst] caches the XY hop counts (the mesh is small —
+	// 16 tiles — and Hops sits on the per-access simulation path).
+	hops []uint8
 }
 
 // MeshStats aggregates NoC activity for energy accounting.
@@ -43,7 +47,15 @@ func NewMesh(w, h int) *Mesh {
 	if w <= 0 || h <= 0 {
 		panic("noc: mesh dimensions must be positive")
 	}
-	return &Mesh{Width: w, Height: h, LinkBytes: 16, CyclesPerHop: 3, FreqGHz: 1, HopMM: 1}
+	m := &Mesh{Width: w, Height: h, LinkBytes: 16, CyclesPerHop: 3, FreqGHz: 1, HopMM: 1}
+	tiles := w * h
+	m.hops = make([]uint8, tiles*tiles)
+	for s := 0; s < tiles; s++ {
+		for d := 0; d < tiles; d++ {
+			m.hops[s*tiles+d] = uint8(abs(s%w-d%w) + abs(s/w-d/w))
+		}
+	}
+	return m
 }
 
 // Tiles returns the number of mesh endpoints.
@@ -57,8 +69,12 @@ func (m *Mesh) ResetStats() { m.stats = MeshStats{} }
 
 // Hops returns the XY-routing hop count between two tiles.
 func (m *Mesh) Hops(src, dst int) int {
-	if src < 0 || src >= m.Tiles() || dst < 0 || dst >= m.Tiles() {
-		panic(fmt.Sprintf("noc: tile out of range (src=%d dst=%d tiles=%d)", src, dst, m.Tiles()))
+	tiles := m.Tiles()
+	if src < 0 || src >= tiles || dst < 0 || dst >= tiles {
+		panic(fmt.Sprintf("noc: tile out of range (src=%d dst=%d tiles=%d)", src, dst, tiles))
+	}
+	if m.hops != nil {
+		return int(m.hops[src*tiles+dst])
 	}
 	sx, sy := src%m.Width, src/m.Width
 	dx, dy := dst%m.Width, dst/m.Width

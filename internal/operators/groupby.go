@@ -41,6 +41,16 @@ func emitGroup(u *engine.Unit, out *engine.Region, key tuple.Key, a *Aggregates)
 	}
 }
 
+// emitGroupRun is emitGroup retired as one run-based append.
+func emitGroupRun(u *engine.Unit, out *engine.Region, key tuple.Key, a *Aggregates) {
+	vals := [numAggs]uint64{a.Count, a.Sum, a.Min, a.Max, a.Avg(), a.SumSq}
+	var ts [numAggs]tuple.Tuple
+	for i, v := range vals {
+		ts[i] = tuple.Tuple{Key: key, Val: tuple.Value(v)}
+	}
+	u.AppendRunLocal(out, ts[:])
+}
+
 // GroupBy groups the dataset by key and applies the six aggregation
 // functions (avg, count, min, max, sum, sum squared) to each group. The
 // partitioning phase hashes low-order key bits; the probe is hash
@@ -160,6 +170,49 @@ func groupBySortProbe(e *engine.Engine, cm CostModel, buckets []*engine.Region, 
 		if err != nil {
 			return err
 		}
+		if u.Bulk() {
+			// Bulk path: key boundaries are found by peeking ahead in the
+			// functional data. The reference loop emits group g right after
+			// reading (and charging) the first tuple of group g+1, so each
+			// group's read run extends one tuple past its boundary — except
+			// the last, which ends at the stream's end.
+			ts := sorted[b].Tuples
+			n := len(ts)
+			c := 0 // tuples consumed from the reader so far
+			for gs := 0; gs < n; {
+				ge := gs + 1
+				for ge < n && ts[ge].Key == ts[gs].Key {
+					ge++
+				}
+				want := ge + 1
+				if want > n {
+					want = n
+				}
+				if k := want - c; k > 0 {
+					readers[0].NextRun(k)
+					u.ChargeRun(insts, k)
+					c = want
+				}
+				agg := Aggregates{Min: ^uint64(0)}
+				for i := gs; i < ge; i++ {
+					v := uint64(ts[i].Val)
+					agg.Count++
+					agg.Sum += v
+					agg.SumSq += v * v
+					if v < agg.Min {
+						agg.Min = v
+					}
+					if v > agg.Max {
+						agg.Max = v
+					}
+				}
+				emitGroupRun(u, outs[b], ts[gs].Key, &agg)
+				nGroups[b]++
+				gs = ge
+			}
+			return nil
+		}
+		// Reference per-tuple path.
 		var cur tuple.Key
 		var agg *Aggregates
 		for {

@@ -178,6 +178,61 @@ func joinSortMergeProbe(e *engine.Engine, cm CostModel, rBuckets, sBuckets []*en
 			return err
 		}
 		rr, sr := readers[0], readers[1]
+		if u.Bulk() {
+			// Bulk path: the same merge, but R catch-up stretches retire as
+			// runs found by peeking ahead in the functional data. The read,
+			// charge and append sequences match the reference loop exactly
+			// — including the charged-but-readless final Next when R
+			// exhausts mid-advance.
+			rTs, sTs := rSorted[b].Tuples, sSorted[b].Tuples
+			nR := len(rTs)
+			cur := 0
+			rok := nR > 0
+			if rok {
+				rr.NextRun(1)
+				u.Charge(insts)
+			}
+			for si := 0; si < len(sTs); si++ {
+				if !rok {
+					// R exhausted: the rest of S is a pure read run.
+					n := len(sTs) - si
+					sr.NextRun(n)
+					u.ChargeRun(insts, n)
+					return nil
+				}
+				st := sTs[si]
+				sr.NextRun(1)
+				u.Charge(insts)
+				if rTs[cur].Key < st.Key {
+					j := cur
+					for j < nR && rTs[j].Key < st.Key {
+						j++
+					}
+					if j < nR {
+						rr.NextRun(j - cur)
+						u.ChargeRun(insts, j-cur)
+						cur = j
+					} else {
+						// The advance runs off the end: nR-1-cur real
+						// reads, then one charged Next that finds the
+						// stream empty.
+						if k := nR - 1 - cur; k > 0 {
+							rr.NextRun(k)
+						}
+						u.ChargeRun(insts, nR-cur)
+						cur = nR
+						rok = false
+						continue
+					}
+				}
+				if rTs[cur].Key == st.Key {
+					u.AppendLocal(outs[b], combine(rTs[cur], st))
+					matches[b]++
+				}
+			}
+			return nil
+		}
+		// Reference per-tuple path.
 		rt, rok := rr.Next()
 		if rok {
 			u.Charge(insts)

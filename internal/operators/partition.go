@@ -140,6 +140,17 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 		if err != nil {
 			return err
 		}
+		if u.Bulk() {
+			// Pure sequential read: the whole partition streams in as one
+			// run; counting is functional and the charges are the same
+			// constant, so batching preserves every accumulator exactly.
+			ts := readers[0].NextRun(inputs[v].Len())
+			for i := range ts {
+				perSource[v][part.Bucket(ts[i].Key)]++
+			}
+			u.ChargeRun(histInsts, len(ts))
+			return nil
+		}
 		for {
 			t, ok := readers[0].Next()
 			if !ok {
@@ -176,6 +187,21 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 			return err
 		}
 		ob := x.Outbox(v)
+		if u.Bulk() {
+			// The source side is a pure sequential read; staging a tuple
+			// into the Exchange is host-side work (the destination vault's
+			// DRAM traffic happens at Flush). One run read, then the
+			// per-tuple charges and sends in the same order as the
+			// reference loop.
+			ts := rs[0].NextRun(inputs[v].Len())
+			for i := range ts {
+				u.Charge(insts)
+				if err := ob.Send(part.Bucket(ts[i].Key), ts[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 		for {
 			t, ok := rs[0].Next()
 			if !ok {
@@ -244,11 +270,12 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 
 	t0 := e.TotalNs()
 	hist := make([][]int64, nCores)
+	histBacking := make([]int64, nCores*part.Buckets)
 	histProf := cm.HistogramProfile
 	histProf.MLPOverride = cm.CPUPartitionMLP
 	e.BeginStep(histProf)
 	for c, u := range units {
-		hist[c] = make([]int64, part.Buckets)
+		hist[c] = histBacking[c*part.Buckets : (c+1)*part.Buckets]
 		for _, in := range coreInputs[c] {
 			for i := 0; i < in.Len(); i++ {
 				t := u.LoadTuple(in, i)
@@ -268,8 +295,9 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 
 	// Per-(core,bucket) write offsets.
 	offset := make([][]int, nCores)
+	offBacking := make([]int, nCores*part.Buckets)
 	for c := range offset {
-		offset[c] = make([]int, part.Buckets)
+		offset[c] = offBacking[c*part.Buckets : (c+1)*part.Buckets]
 	}
 	for b := 0; b < part.Buckets; b++ {
 		run := 0
@@ -277,6 +305,21 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 			offset[c][b] = run
 			run += int(hist[c][b])
 		}
+	}
+
+	// The histogram gives each bucket's exact final size; carve the
+	// host-side tuple storage from one slab so the distribute loop's
+	// ensureLen appends never reallocate (host memory only — simulated
+	// region capacity is untouched).
+	slab := make([]tuple.Tuple, total)
+	off := 0
+	for b, r := range buckets {
+		cnt := 0
+		for c := 0; c < nCores; c++ {
+			cnt += int(hist[c][b])
+		}
+		r.Tuples = slab[off : off : off+cnt]
+		off += cnt
 	}
 
 	insts, profile := distInsts(e, cm)

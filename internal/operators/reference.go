@@ -1,8 +1,6 @@
 package operators
 
 import (
-	"sort"
-
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
@@ -25,7 +23,7 @@ func RefScan(in []tuple.Tuple, needle tuple.Key) []tuple.Tuple {
 func RefSort(in []tuple.Tuple) []tuple.Tuple {
 	out := make([]tuple.Tuple, len(in))
 	copy(out, in)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	tuple.SortSliceByKey(out)
 	return out
 }
 

@@ -52,6 +52,31 @@ func Scan(e *engine.Engine, cfg Config, inputs []*engine.Region, needle tuple.Ke
 		// byte crosses the CPU's SerDes links.
 		for v, in := range inputs {
 			u := e.Units()[v%len(e.Units())]
+			if u.Bulk() {
+				// Bulk path: peek ahead in the functional data to find the
+				// next match, then retire the whole stretch up to and
+				// including it as one run — identical charged access order.
+				ts := in.Tuples
+				for pos := 0; pos < len(ts); {
+					m := pos
+					for m < len(ts) && ts[m].Key != needle {
+						m++
+					}
+					n := m - pos
+					if m < len(ts) {
+						n++ // include the matching tuple in the run
+					}
+					u.LoadRun(in, pos, n)
+					u.ChargeRun(insts, n)
+					if m < len(ts) {
+						u.AppendLocal(outs[v], ts[m])
+						res.Matches++
+					}
+					pos += n
+				}
+				continue
+			}
+			// Reference per-tuple path.
 			for i := 0; i < in.Len(); i++ {
 				t := u.LoadTuple(in, i)
 				u.Charge(insts)
@@ -68,6 +93,28 @@ func Scan(e *engine.Engine, cfg Config, inputs []*engine.Region, needle tuple.Ke
 			if err != nil {
 				return err
 			}
+			if u.Bulk() {
+				ts := inputs[v].Tuples
+				for pos := 0; pos < len(ts); {
+					m := pos
+					for m < len(ts) && ts[m].Key != needle {
+						m++
+					}
+					n := m - pos
+					if m < len(ts) {
+						n++
+					}
+					readers[0].NextRun(n)
+					u.ChargeRun(insts, n)
+					if m < len(ts) {
+						u.AppendLocal(outs[v], ts[m])
+						matches[v]++
+					}
+					pos += n
+				}
+				return nil
+			}
+			// Reference per-tuple path.
 			for {
 				t, ok := readers[0].Next()
 				if !ok {

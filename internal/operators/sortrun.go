@@ -2,7 +2,6 @@ package operators
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
@@ -29,10 +28,17 @@ func quicksortLocal(u *engine.Unit, cm CostModel, r *engine.Region) {
 	if n == 0 {
 		return
 	}
+	if u.Bulk() {
+		u.LoadRun(r, 0, n)
+		tuple.SortSliceByKey(r.Tuples)
+		u.Charge(float64(n) * log2ceil(n) * cm.QuicksortInsts)
+		u.StoreRun(r, 0, r.Tuples)
+		return
+	}
 	for i := 0; i < n; i++ {
 		u.LoadTuple(r, i)
 	}
-	sort.Slice(r.Tuples, func(i, j int) bool { return r.Tuples[i].Key < r.Tuples[j].Key })
+	tuple.SortSliceByKey(r.Tuples)
 	u.Charge(float64(n) * log2ceil(n) * cm.QuicksortInsts)
 	for i := 0; i < n; i++ {
 		u.StoreTuple(r, i, r.Tuples[i])
@@ -44,6 +50,27 @@ func quicksortLocal(u *engine.Unit, cm CostModel, r *engine.Region) {
 // region, the O(n log n) compare work over the full group working set,
 // and one streaming store back.
 func quicksortSuper(u *engine.Unit, cm CostModel, regions []*engine.Region) {
+	if u.Bulk() {
+		total := 0
+		for _, r := range regions {
+			total += r.Len()
+		}
+		if total == 0 {
+			return
+		}
+		all := make([]tuple.Tuple, 0, total)
+		for _, r := range regions {
+			all = append(all, u.LoadRun(r, 0, r.Len())...)
+		}
+		tuple.SortSliceByKey(all)
+		u.Charge(float64(total) * log2ceil(total) * cm.QuicksortInsts)
+		k := 0
+		for _, r := range regions {
+			u.StoreRun(r, 0, all[k:k+r.Len()])
+			k += r.Len()
+		}
+		return
+	}
 	var all []tuple.Tuple
 	for _, r := range regions {
 		for i := 0; i < r.Len(); i++ {
@@ -54,7 +81,7 @@ func quicksortSuper(u *engine.Unit, cm CostModel, regions []*engine.Region) {
 	if n == 0 {
 		return
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	tuple.SortSliceByKey(all)
 	u.Charge(float64(n) * log2ceil(n) * cm.QuicksortInsts)
 	k := 0
 	for _, r := range regions {
@@ -107,18 +134,34 @@ func formRuns(u *engine.Unit, cm CostModel, r *engine.Region, simd bool) error {
 		return err
 	}
 	in := readers[0]
-	out := make([]tuple.Tuple, 0, n)
-	for !in.Done() {
-		group := make([]tuple.Tuple, 0, cm.InitialRunLen)
-		for len(group) < cm.InitialRunLen {
-			t, ok := in.Next()
-			if !ok {
-				break
+	var out []tuple.Tuple
+	if u.Bulk() {
+		// The read pass fully precedes the write pass and NextRun hands
+		// back the region's own storage, so the whole bucket streams in as
+		// one run and the groups sort in place (identical contents and
+		// comparator → identical permutations).
+		run := in.NextRun(n)
+		for g := 0; g < n; g += cm.InitialRunLen {
+			end := g + cm.InitialRunLen
+			if end > n {
+				end = n
 			}
-			group = append(group, t)
+			tuple.SortSliceByKey(run[g:end])
 		}
-		sort.Slice(group, func(i, j int) bool { return group[i].Key < group[j].Key })
-		out = append(out, group...)
+	} else {
+		out = make([]tuple.Tuple, 0, n)
+		for !in.Done() {
+			group := make([]tuple.Tuple, 0, cm.InitialRunLen)
+			for len(group) < cm.InitialRunLen {
+				t, ok := in.Next()
+				if !ok {
+					break
+				}
+				group = append(group, t)
+			}
+			tuple.SortSliceByKey(group)
+			out = append(out, group...)
+		}
 	}
 	if simd {
 		// Bitonic sort of 16-tuple groups: log2(16)·(log2(16)+1)/2 = 10
@@ -127,6 +170,10 @@ func formRuns(u *engine.Unit, cm CostModel, r *engine.Region, simd bool) error {
 	} else {
 		// Insertion sort of each group: ~log2(runLen)·Quicksort-like work.
 		u.Charge(float64(n) * log2ceil(cm.InitialRunLen) * cm.QuicksortInsts)
+	}
+	if u.Bulk() {
+		u.WriteRunBytes(r.Addr, tuple.Size, n)
+		return nil
 	}
 	for i := range out {
 		r.Tuples[i] = out[i]
@@ -147,6 +194,16 @@ func mergePass(u *engine.Unit, cm CostModel, src, dst *engine.Region, runLen, fa
 	if simd {
 		insts = cm.SIMDMergeInsts
 	}
+	// The merge interleave is data-dependent, so pops stay per-tuple. On
+	// stream-buffer units, though, pops themselves are free — only the
+	// granule refills touch DRAM — so the strictly sequential output
+	// appends between two refills can retire as one run: flushing the
+	// pending appends right before each refill-triggering pop preserves
+	// the exact DRAM access order of the per-tuple loop. (Cache-backed
+	// units issue a demand read per pop, so their appends cannot batch.)
+	var pending []tuple.Tuple
+	var keys []tuple.Key // cached stream heads; scanned instead of re-Peeking
+	var live []bool
 	for groupStart := 0; groupStart < n; groupStart += runLen * fanIn {
 		views := make([]*engine.Region, 0, fanIn)
 		for r := 0; r < fanIn; r++ {
@@ -164,25 +221,47 @@ func mergePass(u *engine.Unit, cm CostModel, src, dst *engine.Region, runLen, fa
 		if err != nil {
 			return err
 		}
+		batched := u.Bulk() && len(readers) > 0 && readers[0].Streamed()
+		flush := func() {
+			if len(pending) == 0 {
+				return
+			}
+			u.ChargeRun(insts, len(pending))
+			u.AppendRunLocal(dst, pending)
+			pending = pending[:0]
+		}
+		keys, live = keys[:0], live[:0]
+		for _, rd := range readers {
+			t, ok := rd.Peek()
+			keys = append(keys, t.Key)
+			live = append(live, ok)
+		}
 		for {
 			best := -1
 			var bestKey tuple.Key
-			for i, rd := range readers {
-				t, ok := rd.Peek()
-				if !ok {
-					continue
-				}
-				if best == -1 || t.Key < bestKey {
-					best, bestKey = i, t.Key
+			for i := range keys {
+				if live[i] && (best == -1 || keys[i] < bestKey) {
+					best, bestKey = i, keys[i]
 				}
 			}
 			if best == -1 {
 				break
 			}
-			t, _ := readers[best].Next()
-			u.Charge(insts)
-			u.AppendLocal(dst, t)
+			if batched {
+				if readers[best].NextFills() {
+					flush()
+				}
+				t, _ := readers[best].Next()
+				pending = append(pending, t)
+			} else {
+				t, _ := readers[best].Next()
+				u.Charge(insts)
+				u.AppendLocal(dst, t)
+			}
+			t, ok := readers[best].Peek()
+			keys[best], live[best] = t.Key, ok
 		}
+		flush()
 	}
 	return nil
 }

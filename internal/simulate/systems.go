@@ -104,6 +104,11 @@ type Params struct {
 	// setting; only wall-clock time changes. Overridable with the
 	// MONDRIAN_PARALLELISM environment variable.
 	Parallelism int
+	// NoBulk disables the engine's run-based bulk access fast path,
+	// forcing the per-tuple reference loops everywhere. Results are
+	// byte-identical either way; only wall-clock time changes.
+	// Overridable with the MONDRIAN_NO_BULK environment variable.
+	NoBulk bool
 }
 
 // DefaultParams returns the paper's system shape (4 cubes × 16 vaults,
@@ -111,6 +116,7 @@ type Params struct {
 func DefaultParams() Params {
 	return Params{
 		Parallelism:   envParallelism(),
+		NoBulk:        envNoBulk(),
 		Cubes:         4,
 		VaultsPer:     16,
 		CPUCores:      16,
@@ -157,6 +163,13 @@ func envParallelism() int {
 	return n
 }
 
+// envNoBulk reads the MONDRIAN_NO_BULK override (any non-empty value
+// other than "0" disables the bulk fast path).
+func envNoBulk() bool {
+	v := os.Getenv("MONDRIAN_NO_BULK")
+	return v != "" && v != "0"
+}
+
 // geometry derives the per-vault DRAM geometry.
 func (p Params) geometry() dram.Geometry {
 	g := dram.HMCGeometry()
@@ -167,13 +180,14 @@ func (p Params) geometry() dram.Geometry {
 // EngineConfig builds the engine configuration for a system.
 func (p Params) EngineConfig(s System) engine.Config {
 	base := engine.Config{
-		Cubes:      p.Cubes,
-		VaultsPer:  p.VaultsPer,
-		Geometry:   p.geometry(),
-		Timing:     dram.HMCTiming(),
+		Cubes:       p.Cubes,
+		VaultsPer:   p.VaultsPer,
+		Geometry:    p.geometry(),
+		Timing:      dram.HMCTiming(),
 		ObjectSize:  tuple.Size,
 		BarrierNs:   p.BarrierNs,
 		Parallelism: p.Parallelism,
+		NoBulk:      p.NoBulk,
 	}
 	switch s {
 	case CPU:

@@ -14,21 +14,68 @@ import (
 	"github.com/ecocloud-go/mondrian/internal/engine"
 )
 
-// Event is one recorded memory access.
+// Event is one recorded memory access — or, when Count > 1, a
+// run-length-encoded record of Count accesses of Size bytes each at
+// Addr, Addr+Stride, Addr+2·Stride, … occupying sequence numbers
+// Seq … Seq+Count-1. RLE records come from the engine's bulk access
+// paths; Expand rewrites them into the per-access stream they stand
+// for.
 type Event struct {
-	Seq   int
-	Unit  int
-	Kind  engine.AccessKind
-	Addr  int64
-	Size  int
-	Write bool
+	Seq    int
+	Unit   int
+	Kind   engine.AccessKind
+	Addr   int64
+	Size   int
+	Write  bool
+	Stride int
+	Count  int // 0 or 1: a single access
 }
 
-// Recorder captures engine accesses. It implements engine.Tracer. A zero
+// Accesses returns how many memory accesses the record stands for.
+func (e Event) Accesses() int {
+	if e.Count > 1 {
+		return e.Count
+	}
+	return 1
+}
+
+// Expand rewrites a stream so every record is a single access, giving
+// RLE sub-accesses consecutive sequence numbers and stride-spaced
+// addresses. Streams without RLE records are returned as-is.
+func Expand(events []Event) []Event {
+	total, rle := 0, false
+	for _, e := range events {
+		if e.Count > 1 {
+			rle = true
+		}
+		total += e.Accesses()
+	}
+	if !rle {
+		return events
+	}
+	out := make([]Event, 0, total)
+	for _, e := range events {
+		if e.Count <= 1 {
+			out = append(out, e)
+			continue
+		}
+		for i := 0; i < e.Count; i++ {
+			out = append(out, Event{
+				Seq: e.Seq + i, Unit: e.Unit, Kind: e.Kind,
+				Addr: e.Addr + int64(i)*int64(e.Stride), Size: e.Size, Write: e.Write,
+			})
+		}
+	}
+	return out
+}
+
+// Recorder captures engine accesses. It implements engine.Tracer (and
+// engine.RunTracer, storing bulk runs as single RLE records). A zero
 // Recorder records everything; set Limit to bound memory.
 type Recorder struct {
-	// Limit caps recorded events (0 = unlimited). Once reached, further
-	// events are counted but not stored.
+	// Limit caps stored records (0 = unlimited) — an RLE run counts as
+	// one record. Once reached, further accesses are counted but not
+	// stored.
 	Limit int
 	// KindFilter, when non-nil, records only the listed kinds.
 	KindFilter map[engine.AccessKind]bool
@@ -50,6 +97,33 @@ func (r *Recorder) Access(unit int, kind engine.AccessKind, addr int64, size int
 	}
 	r.events = append(r.events, Event{
 		Seq: r.seq, Unit: unit, Kind: kind, Addr: addr, Size: size, Write: write,
+	})
+}
+
+// AccessRun implements engine.RunTracer: one RLE record covering count
+// accesses, occupying count sequence numbers. A 1-access run is stored
+// as a plain access so the record stream is canonical regardless of
+// which engine path delivered it.
+func (r *Recorder) AccessRun(unit int, kind engine.AccessKind, addr int64, size, stride, count int, write bool) {
+	if count <= 0 {
+		return
+	}
+	if count == 1 {
+		r.Access(unit, kind, addr, size, write)
+		return
+	}
+	seq := r.seq + 1
+	r.seq += count
+	if r.KindFilter != nil && !r.KindFilter[kind] {
+		return
+	}
+	if r.Limit > 0 && len(r.events) >= r.Limit {
+		r.dropped += count
+		return
+	}
+	r.events = append(r.events, Event{
+		Seq: seq, Unit: unit, Kind: kind, Addr: addr, Size: size, Write: write,
+		Stride: stride, Count: count,
 	})
 }
 
@@ -89,6 +163,7 @@ type Stats struct {
 // Analyze computes summary statistics for an event stream with the given
 // DRAM row size.
 func Analyze(events []Event, rowBytes int) Stats {
+	events = Expand(events)
 	var s Stats
 	s.Events = len(events)
 	if len(events) == 0 {
@@ -135,7 +210,7 @@ func Analyze(events []Event, rowBytes int) Stats {
 // PerUnit splits a stream by unit and analyzes each; keys are unit IDs.
 func PerUnit(events []Event, rowBytes int) map[int]Stats {
 	byUnit := make(map[int][]Event)
-	for _, e := range events {
+	for _, e := range Expand(events) {
 		byUnit[e.Unit] = append(byUnit[e.Unit], e)
 	}
 	out := make(map[int]Stats, len(byUnit))
@@ -145,10 +220,11 @@ func PerUnit(events []Event, rowBytes int) map[int]Stats {
 	return out
 }
 
-// Filter returns the events matching the predicate.
+// Filter returns the per-access events matching the predicate (RLE
+// records are expanded first so predicates see single accesses).
 func Filter(events []Event, keep func(Event) bool) []Event {
 	var out []Event
-	for _, e := range events {
+	for _, e := range Expand(events) {
 		if keep(e) {
 			out = append(out, e)
 		}
@@ -165,7 +241,7 @@ type RowCount struct {
 // RowHistogram computes per-row access counts.
 func RowHistogram(events []Event, rowBytes int) []RowCount {
 	counts := make(map[int64]int)
-	for _, e := range events {
+	for _, e := range Expand(events) {
 		counts[e.Addr/int64(rowBytes)]++
 	}
 	out := make([]RowCount, 0, len(counts))
@@ -181,7 +257,7 @@ func WriteCSV(w io.Writer, events []Event) error {
 	if _, err := fmt.Fprintln(w, "seq,unit,kind,addr,size,write"); err != nil {
 		return err
 	}
-	for _, e := range events {
+	for _, e := range Expand(events) {
 		wr := 0
 		if e.Write {
 			wr = 1

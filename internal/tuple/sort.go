@@ -1,0 +1,119 @@
+package tuple
+
+// SortSliceByKey sorts a tuple slice by key ascending with a sort
+// specialized to the concrete element type. sort.Slice routes every
+// swap through a reflection-based swapper (a 16-byte memmove per swap
+// plus interface-dispatched comparisons), which profiling shows
+// dominating the host time of the sort-heavy operators; this direct
+// implementation removes that overhead.
+//
+// The algorithm — median-of-three quicksort falling back to insertion
+// sort below a threshold and to heapsort past a depth limit — is a
+// deterministic function of the key sequence, so repeated runs permute
+// equal-key tuples identically. The simulated results never depend on
+// the permutation chosen among equal keys: timing and traffic see only
+// addresses and counts, not payloads.
+func SortSliceByKey(ts []Tuple) {
+	limit := 0
+	for n := len(ts); n > 0; n >>= 1 {
+		limit++
+	}
+	quicksortKeys(ts, 2*limit)
+}
+
+const insertionThreshold = 12
+
+func quicksortKeys(ts []Tuple, depth int) {
+	for len(ts) > insertionThreshold {
+		if depth == 0 {
+			heapsortKeys(ts)
+			return
+		}
+		depth--
+		p := partitionKeys(ts)
+		// Recurse into the smaller side; loop on the larger.
+		if p < len(ts)-p-1 {
+			quicksortKeys(ts[:p], depth)
+			ts = ts[p+1:]
+		} else {
+			quicksortKeys(ts[p+1:], depth)
+			ts = ts[:p]
+		}
+	}
+	insertionSortKeys(ts)
+}
+
+// partitionKeys partitions around a median-of-three pivot and returns
+// its final index.
+func partitionKeys(ts []Tuple) int {
+	hi := len(ts) - 1
+	mid := hi / 2
+	if ts[mid].Key < ts[0].Key {
+		ts[mid], ts[0] = ts[0], ts[mid]
+	}
+	if ts[hi].Key < ts[0].Key {
+		ts[hi], ts[0] = ts[0], ts[hi]
+	}
+	if ts[hi].Key < ts[mid].Key {
+		ts[hi], ts[mid] = ts[mid], ts[hi]
+	}
+	pivot := ts[mid].Key
+	ts[mid], ts[hi-1] = ts[hi-1], ts[mid]
+	i, j := 0, hi-1
+	for {
+		i++
+		for ts[i].Key < pivot {
+			i++
+		}
+		j--
+		for ts[j].Key > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		ts[i], ts[j] = ts[j], ts[i]
+	}
+	ts[i], ts[hi-1] = ts[hi-1], ts[i]
+	return i
+}
+
+func insertionSortKeys(ts []Tuple) {
+	for i := 1; i < len(ts); i++ {
+		t := ts[i]
+		j := i - 1
+		for j >= 0 && ts[j].Key > t.Key {
+			ts[j+1] = ts[j]
+			j--
+		}
+		ts[j+1] = t
+	}
+}
+
+func heapsortKeys(ts []Tuple) {
+	n := len(ts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownKeys(ts, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ts[0], ts[i] = ts[i], ts[0]
+		siftDownKeys(ts, 0, i)
+	}
+}
+
+func siftDownKeys(ts []Tuple, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && ts[child].Key < ts[child+1].Key {
+			child++
+		}
+		if ts[root].Key >= ts[child].Key {
+			return
+		}
+		ts[root], ts[child] = ts[child], ts[root]
+		root = child
+	}
+}

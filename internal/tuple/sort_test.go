@@ -1,0 +1,93 @@
+package tuple
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortCase generates adversarial key distributions for the specialized
+// sort: random, sorted, reversed, constant, few-distinct and organ-pipe
+// inputs, across sizes that cover the insertion-sort cutoff, the
+// quicksort core and (via killer inputs) the heapsort depth fallback.
+func sortCases() map[string][]Tuple {
+	rng := rand.New(rand.NewSource(42))
+	cases := make(map[string][]Tuple)
+	mk := func(name string, n int, key func(i int) Key) {
+		ts := make([]Tuple, n)
+		for i := range ts {
+			ts[i] = Tuple{Key: key(i), Val: Value(i)} // Val tags the original position
+		}
+		cases[fmt.Sprintf("%s/%d", name, n)] = ts
+	}
+	for _, n := range []int{0, 1, 2, insertionThreshold, insertionThreshold + 1, 100, 4096} {
+		mk("random", n, func(int) Key { return Key(rng.Uint64()) })
+		mk("sorted", n, func(i int) Key { return Key(i) })
+		mk("reversed", n, func(i int) Key { return Key(1<<60) - Key(i) })
+		mk("constant", n, func(int) Key { return 7 })
+		mk("twovalued", n, func(i int) Key { return Key(i & 1) })
+		mk("organpipe", n, func(i int) Key {
+			if i < n/2 {
+				return Key(i)
+			}
+			return Key(n - i)
+		})
+	}
+	return cases
+}
+
+// TestSortSliceByKey checks the specialized sort against sort.Slice:
+// sorted order, and the exact same multiset of tuples (keys AND values —
+// no tuple lost, duplicated or torn).
+func TestSortSliceByKey(t *testing.T) {
+	for name, in := range sortCases() {
+		want := append([]Tuple(nil), in...)
+		sort.Slice(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+
+		got := append([]Tuple(nil), in...)
+		SortSliceByKey(got)
+
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Key > got[i].Key {
+				t.Fatalf("%s: not sorted at %d: %v > %v", name, i, got[i-1], got[i])
+			}
+		}
+		if !SameMultiset(got, want) {
+			t.Fatalf("%s: multiset differs from input", name)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: length %d != %d", name, len(got), len(want))
+		}
+	}
+}
+
+// TestSortSliceByKeyHeapsortPath drives the depth-limit fallback: a
+// median-of-three killer sequence forces quadratic pivot choices until
+// the depth budget runs out, at which point heapsortKeys must finish the
+// job correctly.
+func TestSortSliceByKeyHeapsortPath(t *testing.T) {
+	const n = 1 << 12
+	ts := medianOfThreeKiller(n)
+	SortSliceByKey(ts)
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].Key > ts[i].Key {
+			t.Fatalf("killer input not sorted at %d", i)
+		}
+	}
+}
+
+// medianOfThreeKiller builds the classic sequence that defeats
+// median-of-three pivot selection (Musser 1997).
+func medianOfThreeKiller(n int) []Tuple {
+	ts := make([]Tuple, n)
+	k := n / 2
+	for i := 1; i <= k; i++ {
+		if i%2 == 1 {
+			ts[i-1] = Tuple{Key: Key(i)}
+			ts[i] = Tuple{Key: Key(k + i)}
+		}
+		ts[k+i-1] = Tuple{Key: Key(2 * i)}
+	}
+	return ts
+}

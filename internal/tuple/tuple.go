@@ -50,8 +50,15 @@ func (r *Relation) Len() int { return len(r.Tuples) }
 // Bytes returns the relation's footprint in simulated memory.
 func (r *Relation) Bytes() int64 { return int64(len(r.Tuples)) * Size }
 
-// Append adds tuples to the relation.
+// Append adds tuples to the relation. Hot loops should prefer Append1 or
+// AppendSlice: the variadic form materializes a slice header per call.
 func (r *Relation) Append(ts ...Tuple) { r.Tuples = append(r.Tuples, ts...) }
+
+// Append1 adds a single tuple without the variadic slice-header cost.
+func (r *Relation) Append1(t Tuple) { r.Tuples = append(r.Tuples, t) }
+
+// AppendSlice adds a batch of tuples from an existing slice.
+func (r *Relation) AppendSlice(ts []Tuple) { r.Tuples = append(r.Tuples, ts...) }
 
 // Clone returns a deep copy of the relation.
 func (r *Relation) Clone() *Relation {
@@ -63,7 +70,7 @@ func (r *Relation) Clone() *Relation {
 // SortByKey sorts the relation's tuples by key ascending (stable with
 // respect to payloads is not required; ties keep payload order unspecified).
 func (r *Relation) SortByKey() {
-	sort.Slice(r.Tuples, func(i, j int) bool { return r.Tuples[i].Key < r.Tuples[j].Key })
+	SortSliceByKey(r.Tuples)
 }
 
 // IsSortedByKey reports whether tuples are in non-decreasing key order.

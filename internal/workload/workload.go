@@ -40,7 +40,7 @@ func Uniform(name string, c Config) *tuple.Relation {
 	r := tuple.NewRelation(name, c.Tuples)
 	ks := c.keySpace()
 	for i := 0; i < c.Tuples; i++ {
-		r.Append(tuple.Tuple{
+		r.Append1(tuple.Tuple{
 			Key: tuple.Key(rng.Uint64() % ks),
 			Val: tuple.Value(rng.Uint64()),
 		})
@@ -60,11 +60,11 @@ func FKPair(c Config, rTuples int) (r, s *tuple.Relation) {
 	r = tuple.NewRelation("R", rTuples)
 	perm := rng.Perm(rTuples)
 	for i := 0; i < rTuples; i++ {
-		r.Append(tuple.Tuple{Key: tuple.Key(perm[i]), Val: tuple.Value(rng.Uint64())})
+		r.Append1(tuple.Tuple{Key: tuple.Key(perm[i]), Val: tuple.Value(rng.Uint64())})
 	}
 	s = tuple.NewRelation("S", c.Tuples)
 	for i := 0; i < c.Tuples; i++ {
-		s.Append(tuple.Tuple{
+		s.Append1(tuple.Tuple{
 			Key: tuple.Key(rng.Intn(rTuples)),
 			Val: tuple.Value(rng.Uint64()),
 		})
@@ -86,7 +86,7 @@ func GroupBy(c Config, avgGroupSize int) *tuple.Relation {
 	rng := rand.New(rand.NewSource(c.Seed))
 	r := tuple.NewRelation("G", c.Tuples)
 	for i := 0; i < c.Tuples; i++ {
-		r.Append(tuple.Tuple{
+		r.Append1(tuple.Tuple{
 			Key: tuple.Key(rng.Intn(groups)),
 			Val: tuple.Value(rng.Uint64() % 1_000_000),
 		})
@@ -123,7 +123,7 @@ func Zipf(name string, c Config, s float64) *tuple.Relation {
 	z := rand.NewZipf(rng, s, 1, ks-1)
 	r := tuple.NewRelation(name, c.Tuples)
 	for i := 0; i < c.Tuples; i++ {
-		r.Append(tuple.Tuple{Key: tuple.Key(z.Uint64()), Val: tuple.Value(rng.Uint64())})
+		r.Append1(tuple.Tuple{Key: tuple.Key(z.Uint64()), Val: tuple.Value(rng.Uint64())})
 	}
 	return r
 }
@@ -133,7 +133,7 @@ func Zipf(name string, c Config, s float64) *tuple.Relation {
 func Sequential(name string, n int) *tuple.Relation {
 	r := tuple.NewRelation(name, n)
 	for i := 0; i < n; i++ {
-		r.Append(tuple.Tuple{Key: tuple.Key(i), Val: tuple.Value(i * 2)})
+		r.Append1(tuple.Tuple{Key: tuple.Key(i), Val: tuple.Value(i * 2)})
 	}
 	return r
 }
