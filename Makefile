@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test race fuzz bench bench-smoke ci
+.PHONY: build test vet race fuzz bench bench-smoke ci
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
 
 # Race-detector pass over the full module. The engine fans per-vault work
 # out to a worker pool; this tier-1 step proves the parallel sections are
@@ -16,11 +19,13 @@ race:
 	$(GO) test -race ./...
 
 # Short fuzzing sweep over the multiset-digest and operator round-trip
-# properties (the seed corpora already run as regressions under `make test`).
+# properties plus the simulate.Run no-panic boundary (the seed corpora
+# already run as regressions under `make test`).
 fuzz:
 	$(GO) test -fuzz=FuzzSameMultiset -fuzztime=10s ./internal/tuple/
 	$(GO) test -fuzz=FuzzPartitionRoundTrip -fuzztime=10s ./internal/operators/
 	$(GO) test -fuzz=FuzzRadixRoundTrip -fuzztime=10s ./internal/operators/
+	$(GO) test -run='^$$' -fuzz=FuzzRunNoPanic -fuzztime=15s ./internal/simulate/
 
 # Operator benchmarks (bulk fast path vs per-tuple reference), converted
 # to a benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
@@ -33,5 +38,5 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 
-# ci mirrors .github/workflows/ci.yml: tier-1 build+test, then the race pass.
-ci: test race
+# ci mirrors .github/workflows/ci.yml: tier-1 build+vet+test, then the race pass.
+ci: test vet race

@@ -71,9 +71,16 @@ func benchOperatorOnly(b *testing.B, s simulate.System, op simulate.Operator, p 
 	case OpSortB:
 		rels = []*tuple.Relation{workload.Uniform("sort-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace})}
 	case OpGroupByB:
-		rels = []*tuple.Relation{workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)}
+		rel, err := workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rels = []*tuple.Relation{rel}
 	case OpJoinB:
-		rRel, sRel := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		rRel, sRel, err := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		if err != nil {
+			b.Fatal(err)
+		}
 		rels = []*tuple.Relation{rRel, sRel}
 	}
 	var needle tuple.Key

@@ -59,14 +59,19 @@ func main() {
 	if *small {
 		p = simulate.TestParams()
 	}
-	if *sTup > 0 {
+	if *sTup != 0 {
 		p.STuples = *sTup
 	}
-	if *rTup > 0 {
+	if *rTup != 0 {
 		p.RTuples = *rTup
 	}
 	if *par != 0 {
 		p.Parallelism = *par
+	}
+	// Reject bad overrides up front with the boundary's one-line typed
+	// error instead of starting a long run (or, worse, a stack trace).
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
 	}
 
 	if *params {

@@ -37,17 +37,32 @@ func main() {
 	)
 	flag.Parse()
 
+	// Flag values are caller input: reject them with one-line diagnostics
+	// instead of letting generator internals panic.
+	if *n < 0 {
+		log.Fatalf("invalid -tuples %d: want a non-negative cardinality", *n)
+	}
 	cfg := workload.Config{Seed: *seed, Tuples: *n, KeySpace: *space}
 	var rels []*tuple.Relation
 	switch *kind {
 	case "uniform":
 		rels = append(rels, workload.Uniform("uniform", cfg))
 	case "fk":
-		r, s := workload.FKPair(cfg, *rn)
+		r, s, err := workload.FKPair(cfg, *rn)
+		if err != nil {
+			log.Fatal(err)
+		}
 		rels = append(rels, r, s)
 	case "groupby":
-		rels = append(rels, workload.GroupBy(cfg, *groups))
+		r, err := workload.GroupBy(cfg, *groups)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rels = append(rels, r)
 	case "zipf":
+		if *skew <= 1.0 {
+			log.Fatalf("invalid -skew %v: Zipf requires an exponent > 1", *skew)
+		}
 		rels = append(rels, workload.Zipf("zipf", cfg, *skew))
 	case "sequential":
 		rels = append(rels, workload.Sequential("sequential", *n))

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGenRejectsBadFlags pins the generator CLI's error contract: bad
+// workload parameters fail with a non-zero exit and one clean stderr line
+// — never a panic from the workload package.
+func TestGenRejectsBadFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := filepath.Join(t.TempDir(), "mondrian-gen")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	cases := [][]string{
+		{"-tuples", "-5"},
+		{"-kind", "fk", "-r-tuples", "0"},
+		{"-kind", "fk", "-r-tuples", "-3"},
+		{"-kind", "groupby", "-group-size", "0"},
+		{"-kind", "zipf", "-skew", "0.5"},
+		{"-kind", "martian"},
+	}
+	for _, args := range cases {
+		cmd := exec.Command(bin, args...)
+		var stderr strings.Builder
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		msg := stderr.String()
+		if err == nil {
+			t.Fatalf("%v exited 0, want failure\nstderr: %s", args, msg)
+		}
+		if _, ok := err.(*exec.ExitError); !ok {
+			t.Fatalf("%v did not run: %v", args, err)
+		}
+		if strings.Count(msg, "\n") != 1 || !strings.HasSuffix(msg, "\n") {
+			t.Fatalf("%v stderr is not a single line:\n%s", args, msg)
+		}
+		for _, leak := range []string{"goroutine ", "panic:", "runtime error"} {
+			if strings.Contains(msg, leak) {
+				t.Fatalf("%v stderr leaks internals (%q):\n%s", args, leak, msg)
+			}
+		}
+	}
+}

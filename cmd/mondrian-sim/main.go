@@ -46,33 +46,50 @@ func keys[M map[string]V, V any](m M) string {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mondrian-sim: ")
+	if err := run(); err != nil {
+		// Every failure — invalid flag values included — is a one-line
+		// typed error from the simulate boundary, never a stack trace.
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	defaults := simulate.DefaultParams()
 	var (
-		sysName = flag.String("system", "mondrian", "system: "+keys(systems))
-		opName  = flag.String("op", "join", "operator: "+keys(operators))
-		sTup    = flag.Int("s-tuples", 1<<16, "large-relation cardinality")
-		rTup    = flag.Int("r-tuples", 1<<15, "small join relation cardinality")
-		seed    = flag.Int64("seed", 42, "workload seed")
-		steps   = flag.Bool("steps", false, "print the per-step timeline")
+		sysName  = flag.String("system", "mondrian", "system: "+keys(systems))
+		opName   = flag.String("op", "join", "operator: "+keys(operators))
+		sTup     = flag.Int("s-tuples", 1<<16, "large-relation cardinality")
+		rTup     = flag.Int("r-tuples", 1<<15, "small join relation cardinality")
+		group    = flag.Int("group-size", defaults.GroupSize, "average group size (groupby)")
+		keySpace = flag.Uint64("keyspace", defaults.KeySpace, "key space bound (must be a power of two)")
+		vaultCap = flag.Int64("vault-cap", defaults.VaultCapBytes, "per-vault DRAM capacity in bytes")
+		par      = flag.Int("parallelism", defaults.Parallelism, "host worker pool (0 = GOMAXPROCS, 1 = serial)")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		steps    = flag.Bool("steps", false, "print the per-step timeline")
 	)
 	flag.Parse()
 
 	sys, ok := systems[strings.ToLower(*sysName)]
 	if !ok {
-		log.Fatalf("unknown system %q (want one of %s)", *sysName, keys(systems))
+		return fmt.Errorf("unknown system %q (want one of %s)", *sysName, keys(systems))
 	}
 	op, ok := operators[strings.ToLower(*opName)]
 	if !ok {
-		log.Fatalf("unknown operator %q (want one of %s)", *opName, keys(operators))
+		return fmt.Errorf("unknown operator %q (want one of %s)", *opName, keys(operators))
 	}
 
-	p := simulate.DefaultParams()
+	p := defaults
 	p.STuples = *sTup
 	p.RTuples = *rTup
+	p.GroupSize = *group
+	p.KeySpace = *keySpace
+	p.VaultCapBytes = *vaultCap
+	p.Parallelism = *par
 	p.Seed = *seed
 
 	res, err := simulate.Run(sys, op, p)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -94,7 +111,7 @@ func main() {
 	fmt.Fprintf(w, "bytes moved\t%d\n", res.DRAM.TotalBytes())
 	fmt.Fprintf(w, "energy\t%s\n", res.Energy)
 	if err := w.Flush(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *steps {
@@ -107,4 +124,5 @@ func main() {
 				i, st.Name, st.Ns/1e3, st.MaxUnitNs/1e3, st.MemNs/1e3, st.NetNs/1e3, st.AggIPC)
 		}
 	}
+	return nil
 }

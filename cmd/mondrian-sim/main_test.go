@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCLI compiles the command under test once into the test's temp dir.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cli")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// assertCleanFailure runs the binary and asserts the error contract: a
+// non-zero exit and exactly one stderr line that reads as a diagnostic —
+// no stack trace, no goroutine dump.
+func assertCleanFailure(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	msg := stderr.String()
+	if err == nil {
+		t.Fatalf("%v exited 0, want failure\nstderr: %s", args, msg)
+	}
+	if _, ok := err.(*exec.ExitError); !ok {
+		t.Fatalf("%v did not run: %v", args, err)
+	}
+	if strings.Count(msg, "\n") != 1 || !strings.HasSuffix(msg, "\n") {
+		t.Fatalf("%v stderr is not a single line:\n%s", args, msg)
+	}
+	for _, leak := range []string{"goroutine ", "panic:", "runtime error"} {
+		if strings.Contains(msg, leak) {
+			t.Fatalf("%v stderr leaks internals (%q):\n%s", args, leak, msg)
+		}
+	}
+	return msg
+}
+
+// TestCLIRejectsCrashReproducers pins the four formerly-crashing
+// invocations from the issue: each must fail with a clean one-line
+// diagnostic naming the offending parameter.
+func TestCLIRejectsCrashReproducers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-op", "scan", "-s-tuples", "-5"}, "STuples"},
+		{[]string{"-op", "join", "-r-tuples", "0"}, "RTuples"},
+		{[]string{"-op", "groupby", "-group-size", "0"}, "GroupSize"},
+		{[]string{"-op", "scan", "-vault-cap", "0"}, "VaultCapBytes"},
+	}
+	for _, tc := range cases {
+		msg := assertCleanFailure(t, bin, tc.args...)
+		if !strings.Contains(msg, tc.want) {
+			t.Fatalf("%v stderr %q does not name %s", tc.args, msg, tc.want)
+		}
+	}
+}
+
+// TestCLIRejectsUnknownSelectors covers the -system/-op spelling errors.
+func TestCLIRejectsUnknownSelectors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	assertCleanFailure(t, bin, "-system", "abacus")
+	assertCleanFailure(t, bin, "-op", "shuffleboard")
+}

@@ -37,6 +37,15 @@ var systems = map[string]simulate.System{
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mondrian-trace: ")
+	// The tool drives the engine/operators layers directly, below
+	// simulate.Run; Protect installs the same recovery boundary, so an
+	// internal invariant panic reports as a one-line error here too.
+	if err := simulate.Protect("trace", run); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
 	var (
 		sysName = flag.String("system", "nmp", "system: cpu, nmp, nmp-perm, mondrian, mondrian-noperm")
 		n       = flag.Int("tuples", 1<<14, "input cardinality")
@@ -48,15 +57,18 @@ func main() {
 
 	sys, ok := systems[strings.ToLower(*sysName)]
 	if !ok {
-		log.Fatalf("unknown system %q", *sysName)
+		return fmt.Errorf("unknown system %q", *sysName)
 	}
 	p := simulate.DefaultParams()
 	p.STuples = *n
 	p.Seed = *seed
+	if err := p.Validate(); err != nil {
+		return err
+	}
 
 	e, err := engine.New(p.EngineConfig(sys))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rec := &trace.Recorder{Limit: *limit, KindFilter: map[engine.AccessKind]bool{
 		engine.TraceShuffle:  true,
@@ -71,7 +83,7 @@ func main() {
 	for v, part := range parts {
 		r, err := e.Place(v, part.Tuples)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		inputs[v] = r
 	}
@@ -82,7 +94,7 @@ func main() {
 	}
 	pres, err := operators.PartitionPhase(e, opCfg, inputs, part)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	events := rec.Events()
@@ -90,9 +102,9 @@ func main() {
 		out := bufio.NewWriter(os.Stdout)
 		defer out.Flush()
 		if err := trace.WriteCSV(out, events); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		return
+		return nil
 	}
 
 	rowBytes := p.EngineConfig(sys).Geometry.RowBytes
@@ -128,4 +140,5 @@ func main() {
 	ds := e.DRAMStats()
 	fmt.Printf("\nDRAM: %d activations over %d accesses (row-hit rate %.1f%%)\n",
 		ds.Activations, ds.Accesses(), ds.RowHitRate()*100)
+	return nil
 }

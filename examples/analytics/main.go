@@ -35,10 +35,13 @@ func main() {
 
 	// "Sales events": keys are product IDs (average 4 events per
 	// product, the paper's modeled group size), payloads are amounts.
-	sales := mondrian.GroupByRelation(mondrian.WorkloadConfig{
+	sales, err := mondrian.GroupByRelation(mondrian.WorkloadConfig{
 		Seed:   7,
 		Tuples: 1 << 16,
 	}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fact table: %d sales events\n\n", sales.Len())
 
 	systems := []mondrian.System{

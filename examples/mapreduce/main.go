@@ -33,7 +33,10 @@ func main() {
 	params := mondrian.DefaultParams()
 
 	// "Documents": keys are word IDs (each word appears ~6 times).
-	words := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 13, Tuples: 1 << 15}, 6)
+	words, err := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 13, Tuples: 1 << 15}, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	job := mondrian.MapReduceJob{
 		Name: "wordcount",

@@ -37,7 +37,10 @@ func main() {
 
 	// customers: 4Ki unique customer IDs; orders: 64Ki orders referencing
 	// them (a foreign-key fact table).
-	customers, orders := mondrian.FKRelations(mondrian.WorkloadConfig{Seed: 21, Tuples: 1 << 16}, 1<<12)
+	customers, orders, err := mondrian.FKRelations(mondrian.WorkloadConfig{Seed: 21, Tuples: 1 << 16}, 1<<12)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("orders: %d rows, customers: %d rows\n\n", orders.Len(), customers.Len())
 
 	// Reference result for verification.

@@ -62,6 +62,14 @@ func runWithRetry(params mondrian.Params, rel *mondrian.Relation) (*mondrian.Gro
 }
 
 // imbalance reports max/mean bucket population for a 64-way partitioning.
+func mustGroupBy(c mondrian.WorkloadConfig, avgGroupSize int) *mondrian.Relation {
+	rel, err := mondrian.GroupByRelation(c, avgGroupSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rel
+}
+
 func imbalance(rel *mondrian.Relation, vaults int) float64 {
 	counts := make([]int, vaults)
 	for _, t := range rel.Tuples {
@@ -89,7 +97,7 @@ func main() {
 		name string
 		rel  *mondrian.Relation
 	}{
-		{"uniform", mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 1, Tuples: n}, 4)},
+		{"uniform", mustGroupBy(mondrian.WorkloadConfig{Seed: 1, Tuples: n}, 4)},
 		{"zipf s=1.1", mondrian.ZipfRelation("z1", mondrian.WorkloadConfig{Seed: 2, Tuples: n, KeySpace: 1 << 20}, 1.1)},
 		{"zipf s=1.5", mondrian.ZipfRelation("z2", mondrian.WorkloadConfig{Seed: 3, Tuples: n, KeySpace: 1 << 20}, 1.5)},
 		{"zipf s=2.0", mondrian.ZipfRelation("z3", mondrian.WorkloadConfig{Seed: 4, Tuples: n, KeySpace: 1 << 20}, 2.0)},

@@ -37,7 +37,10 @@ func newMondrian(params mondrian.Params) (*mondrian.Engine, mondrian.OperatorCon
 func main() {
 	log.SetFlags(0)
 	params := mondrian.DefaultParams()
-	data := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 3, Tuples: 1 << 15}, 4)
+	data, err := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 3, Tuples: 1 << 15}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("dataset: %d tuples\n\n", data.Len())
 	fmt.Println("Table 1: Spark operator → basic operator, executed on Mondrian")
 
@@ -87,7 +90,10 @@ func main() {
 		total, sorted.Ns()/1e3)
 
 	// --- Join → Join -----------------------------------------------------
-	dim, fact := mondrian.FKRelations(mondrian.WorkloadConfig{Seed: 5, Tuples: 1 << 15}, 1<<12)
+	dim, fact, err := mondrian.FKRelations(mondrian.WorkloadConfig{Seed: 5, Tuples: 1 << 15}, 1<<12)
+	if err != nil {
+		log.Fatal(err)
+	}
 	e, cfg = newMondrian(params)
 	j, err := mondrian.Join(e, cfg, place(e, dim), place(e, fact))
 	if err != nil {

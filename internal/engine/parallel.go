@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -71,6 +73,30 @@ func (e *Engine) ForEachTask(n int, fn func(i int) error) error {
 	return e.forEach(n, fn)
 }
 
+// PanicError carries a panic recovered on a worker goroutine together with
+// the stack captured at the recovery point. Rethrowing a worker panic from
+// the caller's goroutine would otherwise discard the worker's stack — the
+// only record of where the invariant actually broke — so forEach wraps the
+// value before propagating it. Recovery boundaries (simulate.Protect)
+// unwrap it to report the original value with the original stack.
+type PanicError struct {
+	Value any    // the worker's original panic value
+	Stack []byte // debug.Stack() of the worker goroutine at recovery
+}
+
+// Error implements error as a single line; the stack stays in Stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v", p.Value)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (p *PanicError) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // forEach is the shared driver. Work is handed out through an atomic
 // cursor; results are indexed so error/panic selection is deterministic.
 func (e *Engine) forEach(n int, fn func(i int) error) error {
@@ -113,6 +139,9 @@ func (e *Engine) forEach(n int, fn func(i int) error) error {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							if _, ok := r.(*PanicError); !ok {
+								r = &PanicError{Value: r, Stack: debug.Stack()}
+							}
 							panics[i] = r
 							panicked.Store(true)
 						}

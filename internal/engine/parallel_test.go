@@ -106,8 +106,18 @@ func TestForEachPanicPropagatesLowestIndex(t *testing.T) {
 		if r == nil {
 			t.Fatal("panic did not propagate")
 		}
-		if s, ok := r.(string); !ok || s != "boom 3" {
-			t.Fatalf("recovered %v, want lowest-index panic value", r)
+		// Worker panics propagate wrapped in a *PanicError that keeps the
+		// worker goroutine's own stack — the rethrow from the caller's
+		// goroutine would otherwise discard it.
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PanicError", r, r)
+		}
+		if s, ok := pe.Value.(string); !ok || s != "boom 3" {
+			t.Fatalf("recovered value %v, want lowest-index panic value", pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "parallel_test") {
+			t.Fatalf("worker stack not captured:\n%s", pe.Stack)
 		}
 	}()
 	_ = e.ForEachTask(8, func(i int) error {

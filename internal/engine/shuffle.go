@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"github.com/ecocloud-go/mondrian/internal/hmc"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
 
@@ -55,6 +56,17 @@ func (e *Engine) ShuffleBegin(dests []*Region, perSource [][]int64) error {
 			// The announcement write: 8 bytes to a predefined location
 			// of the remote vault.
 			u.routeLatency(dests[dst].Vault, 8)
+		}
+	}
+	// The exchanged histograms give every destination's exact inbound
+	// total, so the overflow check happens here in software for every
+	// architecture — conventional systems compute their write offsets from
+	// these same counts and must refuse a shuffle that cannot fit, exactly
+	// like the permutable controller's hardware check below.
+	for dst, r := range dests {
+		if inbound[dst] > int64(r.cap)*tuple.Size {
+			return fmt.Errorf("%w: vault %d announced %d B inbound for a %d-tuple (%d B) buffer",
+				hmc.ErrRegionOverflow, r.Vault.ID, inbound[dst], r.cap, int64(r.cap)*tuple.Size)
 		}
 	}
 	if e.cfg.Permutable {

@@ -90,7 +90,10 @@ func gatherOut(res *Result) []tuple.Tuple {
 }
 
 func TestWordCountAcrossArchitectures(t *testing.T) {
-	rel := workload.GroupBy(workload.Config{Seed: 3, Tuples: 4000}, 5)
+	rel, err := workload.GroupBy(workload.Config{Seed: 3, Tuples: 4000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := RefRun(wordCount(), rel.Tuples)
 	for _, tc := range []struct {
 		name string
@@ -206,7 +209,10 @@ func TestJobValidation(t *testing.T) {
 }
 
 func TestShuffleUsesPermutability(t *testing.T) {
-	rel := workload.GroupBy(workload.Config{Seed: 7, Tuples: 8000}, 4)
+	rel, err := workload.GroupBy(workload.Config{Seed: 7, Tuples: 8000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := func(perm bool) uint64 {
 		e := testEngine(t, engine.NMP, perm)
 		if _, err := Run(e, wordCount(), place(t, e, rel)); err != nil {
@@ -247,7 +253,10 @@ func TestMapReduceEquivalenceProperty(t *testing.T) {
 }
 
 func TestMapReduceDeterministic(t *testing.T) {
-	rel := workload.GroupBy(workload.Config{Seed: 17, Tuples: 3000}, 4)
+	rel, err := workload.GroupBy(workload.Config{Seed: 17, Tuples: 3000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := func() float64 {
 		e := testEngine(t, engine.Mondrian, true)
 		res, err := Run(e, wordCount(), place(t, e, rel))

@@ -252,7 +252,10 @@ func TestJoinEquivalenceProperty(t *testing.T) {
 	f := func(seed int64, sn uint16, rn uint8) bool {
 		sSize := int(sn)%3000 + 100
 		rSize := int(rn)%300 + 10
-		r, s := workload.FKPair(workload.Config{Seed: seed, Tuples: sSize}, rSize)
+		r, s, err := workload.FKPair(workload.Config{Seed: seed, Tuples: sSize}, rSize)
+		if err != nil {
+			return false
+		}
 		want := RefJoin(r.Tuples, s.Tuples)
 		for _, v := range vs {
 			e, err := engine.New(v.cfg)

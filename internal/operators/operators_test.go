@@ -162,7 +162,10 @@ func TestSortAllVariants(t *testing.T) {
 }
 
 func TestGroupByAllVariants(t *testing.T) {
-	rel := workload.GroupBy(workload.Config{Seed: 9, Tuples: 4000}, 4)
+	rel, err := workload.GroupBy(workload.Config{Seed: 9, Tuples: 4000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := RefGroupByTuples(rel.Tuples)
 	wantGroups := len(RefGroupBy(rel.Tuples))
 	for _, v := range testVariants() {
@@ -184,7 +187,10 @@ func TestGroupByAllVariants(t *testing.T) {
 }
 
 func TestJoinAllVariants(t *testing.T) {
-	r, s := workload.FKPair(workload.Config{Seed: 11, Tuples: 6000}, 800)
+	r, s, err := workload.FKPair(workload.Config{Seed: 11, Tuples: 6000}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := RefJoin(r.Tuples, s.Tuples)
 	for _, v := range testVariants() {
 		t.Run(v.name, func(t *testing.T) {

@@ -318,6 +318,13 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 		for c := 0; c < nCores; c++ {
 			cnt += int(hist[c][b])
 		}
+		// The histogram exchange reveals overflowing buckets before any
+		// tuple moves: skewed datasets surface the retryable overflow error
+		// here instead of tripping the scatter's capacity invariant (§5.4).
+		if cnt > capPer {
+			return nil, fmt.Errorf("%w: bucket %d needs %d tuples, provisioned %d",
+				ErrPartitionOverflow, b, cnt, capPer)
+		}
 		r.Tuples = slab[off : off : off+cnt]
 		off += cnt
 	}

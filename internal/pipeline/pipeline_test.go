@@ -72,7 +72,10 @@ func table(t *testing.T, e *engine.Engine, label string, rel *tuple.Relation) *T
 }
 
 func TestJoinThenGroupBy(t *testing.T) {
-	rRel, sRel := workload.FKPair(workload.Config{Seed: 3, Tuples: 4000}, 500)
+	rRel, sRel, err := workload.FKPair(workload.Config{Seed: 3, Tuples: 4000}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	joined := operators.RefJoin(rRel.Tuples, sRel.Tuples)
 	want := operators.RefGroupByTuples(joined)
 

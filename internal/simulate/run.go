@@ -97,7 +97,36 @@ func place(e *engine.Engine, rel *tuple.Relation) ([]*engine.Region, error) {
 }
 
 // Run executes one operator on one system and verifies its output.
+//
+// Run is the engine's validated front door (DESIGN.md §10): it vets every
+// caller input first (Params.Validate plus system/operator range checks,
+// rejecting with a typed *ParamError) and executes the experiment under a
+// recovery boundary, so a panic in the simulation internals — an engine
+// invariant violation, by the error contract — returns as a *InternalError
+// carrying the original panic value and stack instead of crashing the
+// caller's process.
 func Run(s System, op Operator, p Params) (*Result, error) {
+	if err := validateSystemOperator(s, op); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var res *Result
+	err := Protect(fmt.Sprintf("%v/%v", s, op), func() error {
+		var err error
+		res, err = run(s, op, p)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// run is the unguarded experiment body; Run wraps it in validation and the
+// recovery boundary.
+func run(s System, op Operator, p Params) (*Result, error) {
 	e, err := engine.New(p.EngineConfig(s))
 	if err != nil {
 		return nil, err
@@ -137,7 +166,10 @@ func Run(s System, op Operator, p Params) (*Result, error) {
 		res.DistBWPerVaultGBs = distBW(r.Partition, e.NumVaults())
 
 	case OpGroupBy:
-		rel := workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)
+		rel, err := workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)
+		if err != nil {
+			return nil, err
+		}
 		inputs, err := place(e, rel)
 		if err != nil {
 			return nil, err
@@ -151,7 +183,10 @@ func Run(s System, op Operator, p Params) (*Result, error) {
 		res.DistBWPerVaultGBs = distBW(r.Partition, e.NumVaults())
 
 	case OpJoin:
-		rRel, sRel := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		rRel, sRel, err := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		if err != nil {
+			return nil, err
+		}
 		rIn, err := place(e, rRel)
 		if err != nil {
 			return nil, err

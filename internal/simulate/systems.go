@@ -14,6 +14,7 @@ package simulate
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -149,8 +150,14 @@ func TestParams() Params {
 	return p
 }
 
+// envWarnOut receives one-line warnings about unusable environment-variable
+// overrides. A variable (swapped by tests) rather than os.Stderr directly.
+var envWarnOut io.Writer = os.Stderr
+
 // envParallelism reads the MONDRIAN_PARALLELISM override (0 or unset =
-// GOMAXPROCS, 1 = serial, N = N workers).
+// GOMAXPROCS, 1 = serial, N = N workers). A value that is not a
+// non-negative integer is reported with a one-line warning naming the
+// variable and value — never silently mapped to the default.
 func envParallelism() int {
 	v := os.Getenv("MONDRIAN_PARALLELISM")
 	if v == "" {
@@ -158,16 +165,27 @@ func envParallelism() int {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil || n < 0 {
+		fmt.Fprintf(envWarnOut, "mondrian: ignoring MONDRIAN_PARALLELISM=%q: want a non-negative integer; using the default (GOMAXPROCS)\n", v)
 		return 0
 	}
 	return n
 }
 
-// envNoBulk reads the MONDRIAN_NO_BULK override (any non-empty value
-// other than "0" disables the bulk fast path).
+// envNoBulk reads the MONDRIAN_NO_BULK override. Boolean spellings
+// (0/1/true/false/...) parse as usual; anything else non-empty keeps the
+// documented legacy meaning "set" (bulk path disabled) but is reported
+// with a one-line warning naming the variable and value.
 func envNoBulk() bool {
 	v := os.Getenv("MONDRIAN_NO_BULK")
-	return v != "" && v != "0"
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		fmt.Fprintf(envWarnOut, "mondrian: MONDRIAN_NO_BULK=%q is not a boolean; treating as set (bulk fast path disabled)\n", v)
+		return true
+	}
+	return b
 }
 
 // geometry derives the per-vault DRAM geometry.

@@ -39,8 +39,13 @@ type Relation struct {
 	Tuples []Tuple
 }
 
-// NewRelation returns an empty relation with capacity for n tuples.
+// NewRelation returns an empty relation with capacity for n tuples. A
+// negative n is treated as zero: capacity is a sizing hint, and turning it
+// into a makeslice panic would let bad caller input crash the process.
 func NewRelation(name string, n int) *Relation {
+	if n < 0 {
+		n = 0
+	}
 	return &Relation{Name: name, Tuples: make([]Tuple, 0, n)}
 }
 

@@ -52,9 +52,14 @@ func Uniform(name string, c Config) *tuple.Relation {
 // with |S| = c.Tuples and |R| = rTuples. Keys of R are a random permutation
 // of [0, rTuples), hence unique; each S tuple references a uniformly chosen
 // R key, so every S tuple joins with exactly one R tuple (paper §6).
-func FKPair(c Config, rTuples int) (r, s *tuple.Relation) {
+// Caller-supplied sizes are inputs, not invariants: non-positive values
+// return an error rather than panicking.
+func FKPair(c Config, rTuples int) (r, s *tuple.Relation, err error) {
 	if rTuples <= 0 {
-		panic("workload: FKPair requires rTuples > 0")
+		return nil, nil, fmt.Errorf("workload: FKPair requires rTuples > 0, got %d", rTuples)
+	}
+	if c.Tuples < 0 {
+		return nil, nil, fmt.Errorf("workload: FKPair requires Tuples >= 0, got %d", c.Tuples)
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	r = tuple.NewRelation("R", rTuples)
@@ -69,15 +74,20 @@ func FKPair(c Config, rTuples int) (r, s *tuple.Relation) {
 			Val: tuple.Value(rng.Uint64()),
 		})
 	}
-	return r, s
+	return r, s, nil
 }
 
 // GroupBy generates a relation whose keys repeat with the given average
 // group size (the paper's modeled Group-by query averages four tuples per
 // group). The number of distinct groups is max(1, Tuples/avgGroupSize).
-func GroupBy(c Config, avgGroupSize int) *tuple.Relation {
+// Caller-supplied sizes are inputs, not invariants: non-positive values
+// return an error rather than panicking.
+func GroupBy(c Config, avgGroupSize int) (*tuple.Relation, error) {
 	if avgGroupSize <= 0 {
-		panic("workload: GroupBy requires avgGroupSize > 0")
+		return nil, fmt.Errorf("workload: GroupBy requires avgGroupSize > 0, got %d", avgGroupSize)
+	}
+	if c.Tuples < 0 {
+		return nil, fmt.Errorf("workload: GroupBy requires Tuples >= 0, got %d", c.Tuples)
 	}
 	groups := c.Tuples / avgGroupSize
 	if groups < 1 {
@@ -91,7 +101,7 @@ func GroupBy(c Config, avgGroupSize int) *tuple.Relation {
 			Val: tuple.Value(rng.Uint64() % 1_000_000),
 		})
 	}
-	return r
+	return r, nil
 }
 
 // ScanTarget returns a needle key guaranteed to be present in r, plus the

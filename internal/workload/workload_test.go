@@ -35,7 +35,10 @@ func TestUniformKeySpace(t *testing.T) {
 }
 
 func TestFKPairUniqueRKeys(t *testing.T) {
-	r, s := FKPair(Config{Seed: 4, Tuples: 4000}, 500)
+	r, s, err := FKPair(Config{Seed: 4, Tuples: 4000}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := make(map[tuple.Key]bool, r.Len())
 	for _, tp := range r.Tuples {
 		if seen[tp.Key] {
@@ -54,18 +57,35 @@ func TestFKPairUniqueRKeys(t *testing.T) {
 	}
 }
 
-func TestFKPairPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("FKPair with rTuples=0 did not panic")
-		}
-	}()
-	FKPair(Config{Seed: 1, Tuples: 10}, 0)
+// Caller-supplied sizes are inputs, not invariants: bad values come back
+// as errors, never panics (the robustness contract of DESIGN.md §10).
+func TestFKPairRejectsBadSizes(t *testing.T) {
+	if _, _, err := FKPair(Config{Seed: 1, Tuples: 10}, 0); err == nil {
+		t.Fatal("FKPair with rTuples=0 did not error")
+	}
+	if _, _, err := FKPair(Config{Seed: 1, Tuples: 10}, -3); err == nil {
+		t.Fatal("FKPair with rTuples=-3 did not error")
+	}
+	if _, _, err := FKPair(Config{Seed: 1, Tuples: -10}, 5); err == nil {
+		t.Fatal("FKPair with Tuples=-10 did not error")
+	}
+}
+
+func TestGroupByRejectsBadSizes(t *testing.T) {
+	if _, err := GroupBy(Config{Seed: 1, Tuples: 10}, 0); err == nil {
+		t.Fatal("GroupBy with avgGroupSize=0 did not error")
+	}
+	if _, err := GroupBy(Config{Seed: 1, Tuples: -10}, 4); err == nil {
+		t.Fatal("GroupBy with Tuples=-10 did not error")
+	}
 }
 
 func TestGroupByAverageGroupSize(t *testing.T) {
 	const n, g = 40000, 4
-	r := GroupBy(Config{Seed: 5, Tuples: n}, g)
+	r, err := GroupBy(Config{Seed: 5, Tuples: n}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
 	groups := make(map[tuple.Key]int)
 	for _, tp := range r.Tuples {
 		groups[tp.Key]++
@@ -141,7 +161,10 @@ func TestFKPairProperty(t *testing.T) {
 	f := func(seed int64, rn, sn uint16) bool {
 		rSize := int(rn)%200 + 1
 		sSize := int(sn) % 2000
-		r, s := FKPair(Config{Seed: seed, Tuples: sSize}, rSize)
+		r, s, err := FKPair(Config{Seed: seed, Tuples: sSize}, rSize)
+		if err != nil {
+			return false
+		}
 		keys := make(map[tuple.Key]bool, r.Len())
 		for _, tp := range r.Tuples {
 			if keys[tp.Key] {
@@ -170,15 +193,6 @@ func TestZipfPanicsOnBadExponent(t *testing.T) {
 	Zipf("z", Config{Seed: 1, Tuples: 10, KeySpace: 100}, 1.0)
 }
 
-func TestGroupByPanicsOnBadGroupSize(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("GroupBy with size 0 did not panic")
-		}
-	}()
-	GroupBy(Config{Seed: 1, Tuples: 10}, 0)
-}
-
 func TestDefaultKeySpace(t *testing.T) {
 	// KeySpace 0 defaults to 4× the cardinality.
 	r := Uniform("r", Config{Seed: 8, Tuples: 1000})
@@ -191,7 +205,10 @@ func TestDefaultKeySpace(t *testing.T) {
 
 func TestGroupByTinyRelation(t *testing.T) {
 	// Fewer tuples than the group size still yields at least one group.
-	r := GroupBy(Config{Seed: 9, Tuples: 2}, 10)
+	r, err := GroupBy(Config{Seed: 9, Tuples: 2}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Len() != 2 {
 		t.Fatalf("len = %d", r.Len())
 	}

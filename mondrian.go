@@ -67,13 +67,14 @@ type WorkloadConfig = workload.Config
 func UniformRelation(name string, c WorkloadConfig) *Relation { return workload.Uniform(name, c) }
 
 // FKRelations generates a primary-key relation R and a foreign-key
-// relation S for Join experiments.
-func FKRelations(c WorkloadConfig, rTuples int) (r, s *Relation) {
+// relation S for Join experiments. Non-positive sizes return an error.
+func FKRelations(c WorkloadConfig, rTuples int) (r, s *Relation, err error) {
 	return workload.FKPair(c, rTuples)
 }
 
 // GroupByRelation generates a relation with the given average group size.
-func GroupByRelation(c WorkloadConfig, avgGroupSize int) *Relation {
+// Non-positive sizes return an error.
+func GroupByRelation(c WorkloadConfig, avgGroupSize int) (*Relation, error) {
 	return workload.GroupBy(c, avgGroupSize)
 }
 
@@ -313,6 +314,14 @@ const (
 
 // Params fixes an experimental setup.
 type Params = simulate.Params
+
+// ParamError is the typed rejection every invalid caller input surfaces
+// as; its Field names the offending Params field.
+type ParamError = simulate.ParamError
+
+// InternalError is a panic recovered at the RunExperiment boundary — an
+// engine invariant violation carrying the original value and stack.
+type InternalError = simulate.InternalError
 
 // Result is one experiment's outcome.
 type Result = simulate.Result

@@ -41,7 +41,10 @@ func TestPublicEngineAndOperators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rel := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 1, Tuples: 4000}, 4)
+	rel, err := mondrian.GroupByRelation(mondrian.WorkloadConfig{Seed: 1, Tuples: 4000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := mondrian.GroupBy(e, p.OperatorConfig(mondrian.SystemMondrian), place(t, e, rel))
 	if err != nil {
 		t.Fatal(err)
