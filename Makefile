@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench-smoke ci
+.PHONY: build test vet race fuzz bench bench-smoke staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,17 @@ test: build
 
 vet:
 	$(GO) vet ./...
+
+# Staticcheck over the whole module. Uses an installed binary when one is
+# on PATH; otherwise runs it through the module cache (needs network the
+# first time). Pinned so CI results are reproducible.
+STATICCHECK_VERSION ?= 2025.1
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
 
 # Race-detector pass over the full module. The engine fans per-vault work
 # out to a worker pool; this tier-1 step proves the parallel sections are

@@ -2,9 +2,12 @@
 // configuration and prints a detailed timing, bandwidth, DRAM and energy
 // report — the tool for exploring one point of the design space.
 //
-// Example:
+// Beyond the registered systems, the spec-override flags derive a custom
+// variant of the selected system on the fly:
 //
 //	mondrian-sim -system mondrian -op join -s-tuples 262144
+//	mondrian-sim -system mondrian -op scan -stream-buffers 4
+//	mondrian-sim -system nmp -op join -topology star -l1-bytes 16384
 package main
 
 import (
@@ -15,33 +18,9 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"github.com/ecocloud-go/mondrian/internal/noc"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 )
-
-var systems = map[string]simulate.System{
-	"cpu":             simulate.CPU,
-	"nmp":             simulate.NMP,
-	"nmp-perm":        simulate.NMPPerm,
-	"nmp-rand":        simulate.NMPRand,
-	"nmp-seq":         simulate.NMPSeq,
-	"mondrian-noperm": simulate.MondrianNoPerm,
-	"mondrian":        simulate.Mondrian,
-}
-
-var operators = map[string]simulate.Operator{
-	"scan":    simulate.OpScan,
-	"sort":    simulate.OpSort,
-	"groupby": simulate.OpGroupBy,
-	"join":    simulate.OpJoin,
-}
-
-func keys[M map[string]V, V any](m M) string {
-	var out []string
-	for k := range m {
-		out = append(out, k)
-	}
-	return strings.Join(out, ", ")
-}
 
 func main() {
 	log.SetFlags(0)
@@ -53,11 +32,44 @@ func main() {
 	}
 }
 
+// customize derives a one-off system from base's registered spec with
+// the given overrides applied, registers it under a derived name, and
+// returns its handle. Zero values leave the base spec untouched.
+func customize(base simulate.System, topo string, l1Bytes, streamBufs int) (simulate.System, error) {
+	sp, ok := simulate.SpecOf(base)
+	if !ok {
+		return 0, fmt.Errorf("unknown system %v", base)
+	}
+	sp.Name += "+custom"
+	switch strings.ToLower(topo) {
+	case "":
+	case "star":
+		sp.Engine.Topology = noc.Star
+	case "full", "fully-connected":
+		sp.Engine.Topology = noc.FullyConnected
+	default:
+		return 0, fmt.Errorf("unknown topology %q (want star or full)", topo)
+	}
+	if l1Bytes != 0 {
+		if l1Bytes < 0 {
+			return 0, fmt.Errorf("negative L1 size %d bytes", l1Bytes)
+		}
+		sp.Engine.L1.SizeBytes = l1Bytes
+	}
+	if streamBufs != 0 {
+		if streamBufs < 0 {
+			return 0, fmt.Errorf("negative stream-buffer count %d", streamBufs)
+		}
+		sp.Engine.StreamBuffers = streamBufs
+	}
+	return simulate.Register(sp)
+}
+
 func run() error {
 	defaults := simulate.DefaultParams()
 	var (
-		sysName  = flag.String("system", "mondrian", "system: "+keys(systems))
-		opName   = flag.String("op", "join", "operator: "+keys(operators))
+		sysName  = flag.String("system", "mondrian", "system: "+strings.ToLower(strings.Join(simulate.SystemNames(), ", ")))
+		opName   = flag.String("op", "join", "operator: "+strings.Join(simulate.OperatorNames(), ", "))
 		sTup     = flag.Int("s-tuples", 1<<16, "large-relation cardinality")
 		rTup     = flag.Int("r-tuples", 1<<15, "small join relation cardinality")
 		group    = flag.Int("group-size", defaults.GroupSize, "average group size (groupby)")
@@ -66,16 +78,27 @@ func run() error {
 		par      = flag.Int("parallelism", defaults.Parallelism, "host worker pool (0 = GOMAXPROCS, 1 = serial)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		steps    = flag.Bool("steps", false, "print the per-step timeline")
+
+		// Spec overrides: derive a custom variant of -system.
+		topo       = flag.String("topology", "", "override the inter-cube topology: star or full")
+		l1Bytes    = flag.Int("l1-bytes", 0, "override the per-unit L1 capacity in bytes (0 = system default)")
+		streamBufs = flag.Int("stream-buffers", 0, "override the per-unit stream-buffer count (0 = architectural default)")
+		cpuCores   = flag.Int("cpu-cores", 0, "override the host core count on CPU systems (0 = default)")
 	)
 	flag.Parse()
 
-	sys, ok := systems[strings.ToLower(*sysName)]
-	if !ok {
-		return fmt.Errorf("unknown system %q (want one of %s)", *sysName, keys(systems))
+	sys, err := simulate.ParseSystem(*sysName)
+	if err != nil {
+		return err
 	}
-	op, ok := operators[strings.ToLower(*opName)]
-	if !ok {
-		return fmt.Errorf("unknown operator %q (want one of %s)", *opName, keys(operators))
+	op, err := simulate.ParseOperator(*opName)
+	if err != nil {
+		return err
+	}
+	if *topo != "" || *l1Bytes != 0 || *streamBufs != 0 {
+		if sys, err = customize(sys, *topo, *l1Bytes, *streamBufs); err != nil {
+			return err
+		}
 	}
 
 	p := defaults
@@ -86,6 +109,9 @@ func run() error {
 	p.VaultCapBytes = *vaultCap
 	p.Parallelism = *par
 	p.Seed = *seed
+	if *cpuCores != 0 {
+		p.CPUCores = *cpuCores
+	}
 
 	res, err := simulate.Run(sys, op, p)
 	if err != nil {

@@ -78,4 +78,55 @@ func TestCLIRejectsUnknownSelectors(t *testing.T) {
 	bin := buildCLI(t)
 	assertCleanFailure(t, bin, "-system", "abacus")
 	assertCleanFailure(t, bin, "-op", "shuffleboard")
+	assertCleanFailure(t, bin, "-topology", "ring")
+	assertCleanFailure(t, bin, "-stream-buffers", "-2")
+	assertCleanFailure(t, bin, "-l1-bytes", "-1")
+}
+
+// TestCLICustomSystem derives Mondrian with four stream buffers through
+// the spec-override flags and runs a scan end-to-end. Scan opens one
+// stream per unit, so it stays within the shrunken buffer set.
+func TestCLICustomSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-system", "mondrian", "-op", "scan",
+		"-stream-buffers", "4", "-s-tuples", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("custom-system run failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "Mondrian+custom") {
+		t.Fatalf("report does not name the derived system:\n%s", got)
+	}
+	if !strings.Contains(got, "verified") || strings.Contains(got, "false") {
+		t.Fatalf("custom-system scan did not verify:\n%s", got)
+	}
+}
+
+// TestCLITopologyAndCacheOverrides drives the remaining override flags
+// through a small NMP join: star topology, a quarter-size L1, and an
+// explicit host-core count on the CPU system.
+func TestCLITopologyAndCacheOverrides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the CLI")
+	}
+	bin := buildCLI(t)
+	out, err := exec.Command(bin, "-system", "nmp", "-op", "scan",
+		"-topology", "star", "-l1-bytes", "8192", "-s-tuples", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("override run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "NMP+custom") {
+		t.Fatalf("report does not name the derived system:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-system", "cpu", "-op", "scan",
+		"-cpu-cores", "8", "-s-tuples", "4096").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-cpu-cores run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "CPU") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
 }

@@ -26,14 +26,6 @@ import (
 	"github.com/ecocloud-go/mondrian/internal/workload"
 )
 
-var systems = map[string]simulate.System{
-	"cpu":             simulate.CPU,
-	"nmp":             simulate.NMP,
-	"nmp-perm":        simulate.NMPPerm,
-	"mondrian":        simulate.Mondrian,
-	"mondrian-noperm": simulate.MondrianNoPerm,
-}
-
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mondrian-trace: ")
@@ -47,7 +39,7 @@ func main() {
 
 func run() error {
 	var (
-		sysName = flag.String("system", "nmp", "system: cpu, nmp, nmp-perm, mondrian, mondrian-noperm")
+		sysName = flag.String("system", "nmp", "system: "+strings.ToLower(strings.Join(simulate.SystemNames(), ", ")))
 		n       = flag.Int("tuples", 1<<14, "input cardinality")
 		seed    = flag.Int64("seed", 42, "workload seed")
 		csv     = flag.Bool("csv", false, "dump the raw shuffle trace as CSV")
@@ -55,9 +47,9 @@ func run() error {
 	)
 	flag.Parse()
 
-	sys, ok := systems[strings.ToLower(*sysName)]
-	if !ok {
-		return fmt.Errorf("unknown system %q", *sysName)
+	sys, err := simulate.ParseSystem(*sysName)
+	if err != nil {
+		return err
 	}
 	p := simulate.DefaultParams()
 	p.STuples = *n

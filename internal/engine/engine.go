@@ -59,11 +59,20 @@ func (a Arch) String() string {
 
 // Config assembles one evaluated system (paper Table 3).
 type Config struct {
-	Arch       Arch
+	// Arch selects one of the three canonical compositions (archRows in
+	// spec.go). Ignored when Spec is set.
+	Arch Arch
+	// Spec, when non-nil, declares the system composition directly —
+	// the extension point for variants the Arch shorthand cannot
+	// express (see SystemSpec).
+	Spec       *SystemSpec
 	Core       cores.Model
-	CPUCores   int  // CPU architecture only
+	CPUCores   int  // host-core compositions only
 	Permutable bool // vault controllers honor permutable stores
 	UseStreams bool // compute units read via stream buffers
+	// StreamBuffers sizes each unit's stream-buffer set (0 selects the
+	// architectural default, hmc.NumStreamBuffers).
+	StreamBuffers int
 	Cubes      int
 	VaultsPer  int
 	Topology   noc.Topology
@@ -89,16 +98,31 @@ type Config struct {
 	NoBulk bool
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency, including that the resolved
+// system spec names a registered memory path — a mis-declared spec is an
+// error here, never a panic mid-run.
 func (c Config) Validate() error {
+	sp, err := c.resolveSpec()
+	if err != nil {
+		return err
+	}
 	if c.Cubes <= 0 || c.VaultsPer <= 0 {
 		return fmt.Errorf("engine: need cubes and vaults, got %d×%d", c.Cubes, c.VaultsPer)
 	}
-	if c.Arch == CPU && c.CPUCores <= 0 {
-		return fmt.Errorf("engine: CPU architecture needs CPUCores > 0")
+	if sp.HostCores && c.CPUCores <= 0 {
+		return fmt.Errorf("engine: host-core systems (the CPU architecture) need CPUCores > 0")
 	}
 	if c.ObjectSize <= 0 || c.ObjectSize > hmc.ObjectBufferBytes {
 		return fmt.Errorf("engine: object size %d outside (0,%d]", c.ObjectSize, hmc.ObjectBufferBytes)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("engine: negative Parallelism %d (want 0 for GOMAXPROCS or a positive worker count)", c.Parallelism)
+	}
+	if c.BarrierNs < 0 {
+		return fmt.Errorf("engine: negative BarrierNs %v", c.BarrierNs)
+	}
+	if c.StreamBuffers < 0 {
+		return fmt.Errorf("engine: negative StreamBuffers %d (want 0 for the architectural default)", c.StreamBuffers)
 	}
 	return nil
 }
@@ -176,9 +200,11 @@ type RunTracer interface {
 // Engine is one configured system instance.
 type Engine struct {
 	cfg    Config
+	spec   SystemSpec   // resolved composition (spec.go)
+	path   memPath      // the units' memory-path implementation
 	Sys    *hmc.System
-	llc    *cache.Cache // CPU only, shared
-	mesh   *noc.Mesh    // CPU-side tile mesh (CPU only)
+	llc    *cache.Cache // shared LLC (host-core specs only)
+	mesh   *noc.Mesh    // host-side tile mesh (host-core specs only)
 	tracer Tracer
 
 	// Shift/mask form of the block-interleaved NUCA bank hash
@@ -200,59 +226,67 @@ type Engine struct {
 	barrierCnt int
 }
 
-// New builds an engine from a configuration.
+// New builds an engine from a configuration: the system spec (Config.Spec,
+// or the canonical composition of Config.Arch) is resolved once, and the
+// units are assembled from it declaratively — each feature flag adds one
+// piece of per-unit hardware, with no per-architecture construction code.
 func New(cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		cfg: cfg,
-		Sys: hmc.NewSystem(cfg.Cubes, cfg.VaultsPer, cfg.Topology, cfg.Geometry, cfg.Timing),
+	spec, err := cfg.resolveSpec()
+	if err != nil {
+		return nil, err
 	}
-	switch cfg.Arch {
-	case CPU:
+	e := &Engine{
+		cfg:  cfg,
+		spec: spec,
+		path: memPaths[spec.Path],
+		Sys:  hmc.NewSystem(cfg.Cubes, cfg.VaultsPer, cfg.Topology, cfg.Geometry, cfg.Timing),
+	}
+	if spec.SharedLLC {
 		e.llc = cache.New(cfg.LLC)
-		e.mesh = noc.NewMesh(4, 4) // 16-tile CPU chip (Fig. 5)
+	}
+	if spec.HostCores {
+		e.mesh = noc.NewMesh(4, 4) // 16-tile host chip (Fig. 5)
 		if bb, tiles := cfg.L1.BlockBytes, e.mesh.Tiles(); bb > 0 && bb&(bb-1) == 0 && tiles&(tiles-1) == 0 {
 			for b := bb; b > 1; b >>= 1 {
 				e.nucaShift++
 			}
 			e.nucaMask = int64(tiles - 1)
 		}
-		for i := 0; i < cfg.CPUCores; i++ {
-			u := &Unit{ID: i, engine: e, L1: cache.New(cfg.L1), tile: i % e.mesh.Tiles()}
+	}
+	n := cfg.CPUCores
+	if !spec.HostCores {
+		n = e.Sys.NumVaults()
+	}
+	for i := 0; i < n; i++ {
+		u := &Unit{ID: i, engine: e, path: e.path}
+		if spec.HostCores {
+			u.tile = i % e.mesh.Tiles()
+		} else {
+			u.Vault = e.Sys.Vault(i)
+		}
+		if spec.UnitL1 {
+			u.L1 = cache.New(cfg.L1)
+		}
+		if spec.TLB {
 			// 64-entry L1 TLB and 1024-entry L2 TLB over 4 KB pages
 			// (Cortex-A57-class translation hardware).
 			u.tlbL1 = cache.New(cache.Config{SizeBytes: 64 * pageBytes, Ways: 4, BlockBytes: pageBytes})
 			u.tlbL2 = cache.New(cache.Config{SizeBytes: 1024 * pageBytes, Ways: 8, BlockBytes: pageBytes})
-			e.units = append(e.units, u)
 		}
-	case NMP:
-		for i, v := range e.Sys.Vaults() {
-			u := &Unit{ID: i, engine: e, Vault: v, L1: cache.New(cfg.L1)}
-			if cfg.Permutable {
-				b, err := hmc.NewObjectBuffer(cfg.ObjectSize)
-				if err != nil {
-					return nil, err
-				}
-				u.ObjBuf = b
-			}
-			e.units = append(e.units, u)
-		}
-	case Mondrian:
-		for i, v := range e.Sys.Vaults() {
+		if spec.ObjectBuf {
 			b, err := hmc.NewObjectBuffer(cfg.ObjectSize)
 			if err != nil {
 				return nil, err
 			}
-			u := &Unit{ID: i, engine: e, Vault: v, ObjBuf: b}
-			if cfg.UseStreams {
-				u.Streams = hmc.NewStreamBufferSet(v)
-			}
-			e.units = append(e.units, u)
+			u.ObjBuf = b
 		}
-	default:
-		return nil, fmt.Errorf("engine: unknown architecture %v", cfg.Arch)
+		if spec.StreamBufs {
+			u.Streams = hmc.NewStreamBufferSetN(u.Vault, cfg.StreamBuffers)
+		}
+		e.units = append(e.units, u)
 	}
 	return e, nil
 }
@@ -300,11 +334,11 @@ func (e *Engine) allocRegion(vaultID int, ts []tuple.Tuple, capTuples int) (*Reg
 	return r, nil
 }
 
-// UnitForVault returns the compute unit co-located with vault v (NMP and
-// Mondrian architectures).
+// UnitForVault returns the compute unit co-located with vault v
+// (vault-resident specs — the NMP and Mondrian architectures).
 func (e *Engine) UnitForVault(v int) *Unit {
-	if e.cfg.Arch == CPU {
-		panic("engine: CPU cores are not vault-resident")
+	if e.spec.HostCores {
+		panic("engine: host cores are not vault-resident")
 	}
 	return e.units[v]
 }
@@ -318,7 +352,7 @@ func (e *Engine) TotalNs() float64 { return e.totalNs }
 // Steps returns the timing of every completed step.
 func (e *Engine) Steps() []StepTiming { return e.steps }
 
-// LLC returns the shared last-level cache (nil outside the CPU arch).
+// LLC returns the shared last-level cache (nil on specs without one).
 func (e *Engine) LLC() *cache.Cache { return e.llc }
 
 // DRAMStats returns cumulative DRAM statistics across all vaults.

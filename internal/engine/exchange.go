@@ -62,8 +62,8 @@ type Outbox struct {
 // follows the engine configuration, matching the serial engine's choice
 // between SendPermutable and SendAt.
 func (e *Engine) NewExchange(dests []*Region) *Exchange {
-	if e.cfg.Arch == CPU {
-		panic("engine: Exchange is for vault-resident architectures; CPU cores shuffle through the cache hierarchy")
+	if e.spec.HostCores {
+		panic("engine: Exchange is for vault-resident specs; host cores shuffle through the cache hierarchy")
 	}
 	if len(dests) != e.NumVaults() {
 		panic(fmt.Sprintf("engine: %d destination regions for %d vaults", len(dests), e.NumVaults()))

@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"fmt"
+
+	"github.com/ecocloud-go/mondrian/internal/cache"
+	"github.com/ecocloud-go/mondrian/internal/hmc"
+	"github.com/ecocloud-go/mondrian/internal/noc"
+)
+
+// memPath is one memory-path implementation: the architecture-specific
+// half of Unit's access machinery. Unit.access/accessRun handle the
+// common bookkeeping (tracing, access tallies, the bulk-eligibility
+// fallback) and delegate the actual walk to the unit's path, so the hot
+// paths carry no architecture switches.
+type memPath interface {
+	// access walks one demand access of size bytes through the path.
+	access(u *Unit, addr int64, size int, write bool)
+	// accessRun retires a bulk run the path proved runnable: count
+	// elements of stride bytes, with accounting byte-identical to count
+	// access calls.
+	accessRun(u *Unit, addr int64, stride, count int, write bool)
+	// runnable reports whether the bulk path can retire this run with
+	// provably identical accounting (see the per-path doc comments).
+	runnable(u *Unit, addr int64, stride, count int) bool
+	// route charges the interconnect between the unit and a vault and
+	// returns the one-way latency.
+	route(u *Unit, dst *hmc.Vault, size int) float64
+	// demandShuffle reports whether partitioning-phase sends go through
+	// the demand path (write-allocate caches) instead of direct remote
+	// vault writes.
+	demandShuffle() bool
+	// check validates that a spec composition provides the hardware
+	// this path dereferences (caches, TLBs, home vaults).
+	check(sp SystemSpec) error
+}
+
+// --- cpuPath: TLB → L1 → NUCA mesh → LLC → SerDes → vault ---------------
+
+// cpuPath is the host-processor hierarchy: every access translates
+// through the TLBs, walks the private L1, and misses into the shared
+// NUCA LLC across the chip mesh; LLC misses cross the star SerDes into
+// the owning cube.
+type cpuPath struct{}
+
+func (cpuPath) check(sp SystemSpec) error {
+	if !sp.HostCores || !sp.UnitL1 || !sp.SharedLLC || !sp.TLB {
+		return fmt.Errorf("engine: the cpu path needs host cores with TLBs, an L1 and a shared LLC")
+	}
+	return nil
+}
+
+func (cpuPath) access(u *Unit, addr int64, size int, write bool) {
+	block := int64(u.L1.Config().BlockBytes)
+	end := addr + int64(size)
+	for a := addr / block * block; a < end; a += block {
+		u.cpuBlockAccess(a, write)
+	}
+}
+
+func (cpuPath) accessRun(u *Unit, addr int64, stride, count int, write bool) {
+	u.cpuRunAccess(addr, stride, count, write)
+}
+
+// runnable: elements must not straddle cache blocks or DRAM rows
+// (stride-aligned, power-of-two-dividing strides).
+func (cpuPath) runnable(u *Unit, addr int64, stride, count int) bool {
+	return u.cachedRunnable(addr, stride)
+}
+
+func (cpuPath) route(u *Unit, dst *hmc.Vault, size int) float64 {
+	e := u.engine
+	lat := e.Sys.Net.Transfer(noc.CPUNode, dst.Cube, size)
+	return lat + e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
+}
+
+// CPU stores go through the cache hierarchy.
+func (cpuPath) demandShuffle() bool { return true }
+
+// --- cachedVaultPath: L1 → home/remote vault ----------------------------
+
+// cachedVaultPath is the cache-backed near-memory core: accesses walk
+// the per-unit L1 and miss straight into the fabric (home vault free,
+// remote vaults across the logic-layer mesh and SerDes).
+type cachedVaultPath struct{}
+
+func (cachedVaultPath) check(sp SystemSpec) error {
+	if sp.HostCores || !sp.UnitL1 {
+		return fmt.Errorf("engine: the cached-vault path needs vault-resident units with an L1")
+	}
+	return nil
+}
+
+func (cachedVaultPath) access(u *Unit, addr int64, size int, write bool) {
+	block := int64(u.L1.Config().BlockBytes)
+	end := addr + int64(size)
+	for a := addr / block * block; a < end; a += block {
+		u.nmpBlockAccess(a, write)
+	}
+}
+
+func (cachedVaultPath) accessRun(u *Unit, addr int64, stride, count int, write bool) {
+	u.nmpRunAccess(addr, stride, count, write)
+}
+
+// runnable: same block/row alignment condition as the CPU path — the L1
+// batches same-block hits and the miss list replays per-element.
+func (cachedVaultPath) runnable(u *Unit, addr int64, stride, count int) bool {
+	return u.cachedRunnable(addr, stride)
+}
+
+func (cachedVaultPath) route(u *Unit, dst *hmc.Vault, size int) float64 {
+	return u.vaultRoute(dst, size)
+}
+
+func (cachedVaultPath) demandShuffle() bool { return false }
+
+// --- streamPath: cacheless direct vault access --------------------------
+
+// streamPath is the cacheless Mondrian unit: every access goes straight
+// at the owning vault (reads that must not stall flow through the stream
+// buffers instead — streams.go).
+type streamPath struct{}
+
+func (streamPath) check(sp SystemSpec) error {
+	if sp.HostCores || sp.UnitL1 {
+		return fmt.Errorf("engine: the stream path needs cacheless vault-resident units")
+	}
+	return nil
+}
+
+func (streamPath) access(u *Unit, addr int64, size int, write bool) {
+	lat := u.directAccess(addr, size, write)
+	if !write {
+		u.stallRawNs += lat
+	}
+}
+
+// accessRun: cacheless unit, local vault — the route adds zero latency,
+// so each element's stall is exactly its DRAM latency.
+func (streamPath) accessRun(u *Unit, addr int64, stride, count int, write bool) {
+	if write {
+		u.Vault.WriteRun(addr, stride, count)
+	} else {
+		u.Vault.ReadRun(addr, stride, count, &u.stallRawNs)
+	}
+}
+
+// runnable: elements must not straddle DRAM rows, and the run must stay
+// inside the home vault so route latency is uniformly zero.
+func (streamPath) runnable(u *Unit, addr int64, stride, count int) bool {
+	row := int64(u.engine.cfg.Geometry.RowBytes)
+	if row%int64(stride) != 0 || addr%int64(stride) != 0 {
+		return false
+	}
+	last := addr + int64(stride)*int64(count) - 1
+	return u.Vault != nil && u.Vault.Contains(addr) && u.Vault.Contains(last)
+}
+
+func (streamPath) route(u *Unit, dst *hmc.Vault, size int) float64 {
+	return u.vaultRoute(dst, size)
+}
+
+func (streamPath) demandShuffle() bool { return false }
+
+// --- shared walk helpers ------------------------------------------------
+
+// cachedRunnable is the bulk-eligibility condition shared by the cached
+// paths: elements must not straddle cache blocks or DRAM rows.
+func (u *Unit) cachedRunnable(addr int64, stride int) bool {
+	block := int64(u.L1.Config().BlockBytes)
+	if block%int64(stride) != 0 || addr%int64(stride) != 0 {
+		return false
+	}
+	row := int64(u.engine.cfg.Geometry.RowBytes)
+	return row%int64(stride) == 0
+}
+
+// vaultRoute charges the interconnect between a vault-resident unit and
+// a destination vault: free at home, across the logic-layer mesh within
+// a cube, and over the SerDes between cubes.
+func (u *Unit) vaultRoute(dst *hmc.Vault, size int) float64 {
+	e := u.engine
+	src := u.Vault
+	if src == dst {
+		return 0
+	}
+	if src.Cube == dst.Cube {
+		return e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, dst.Tile, size)
+	}
+	lat := e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, 0, size)
+	lat += e.Sys.Net.Transfer(src.Cube, dst.Cube, size)
+	lat += e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
+	return lat
+}
+
+// cpuRunAccess retires a sequential run on a CPU core: per page, one full
+// TLB lookup plus batched TLB hits (the first lookup installs the entry);
+// per L1 block, the cache's own bulk walk; misses route through the LLC
+// exactly as the per-element path does, demand fetches stalling and
+// prefetches overlapping.
+func (u *Unit) cpuRunAccess(addr int64, stride, count int, write bool) {
+	block := u.L1.Config().BlockBytes
+	for count > 0 {
+		pageEnd := (addr/pageBytes + 1) * pageBytes
+		k := int((pageEnd - addr + int64(stride) - 1) / int64(stride))
+		if k > count {
+			k = count
+		}
+		u.stallRawNs += u.tlbLookup(addr)
+		if k > 1 && !u.tlbL1.AccessHitRun(addr+int64(stride), k-1, false) {
+			// The first lookup always installs the page's entry; this
+			// branch only runs on pathological TLB geometries.
+			for i := 1; i < k; i++ {
+				u.stallRawNs += u.tlbLookup(addr + int64(i)*int64(stride))
+			}
+		}
+		u.L1.AccessRun(addr, stride, k, write, &u.runRes)
+		for _, op := range u.runRes.Ops {
+			switch op.Kind {
+			case cache.RunFetchDemand:
+				// Only the demand block stalls; prefetches overlap.
+				u.stallRawNs += u.cpuFetchFromLLC(op.Addr, block)
+			case cache.RunFetchPrefetch:
+				u.cpuFetchFromLLC(op.Addr, block)
+			case cache.RunWriteback:
+				u.cpuWritebackToLLC(op.Addr, block)
+			}
+		}
+		addr += int64(k) * int64(stride)
+		count -= k
+	}
+}
+
+// nmpRunAccess retires a sequential run on a cache-backed vault unit: the
+// L1 batches same-block hits, and the miss traffic list replays through
+// the fabric in the per-element order (demand fetch stalls, prefetches and
+// writebacks only occupy bandwidth).
+func (u *Unit) nmpRunAccess(addr int64, stride, count int, write bool) {
+	u.L1.AccessRun(addr, stride, count, write, &u.runRes)
+	block := u.L1.Config().BlockBytes
+	for _, op := range u.runRes.Ops {
+		switch op.Kind {
+		case cache.RunFetchDemand:
+			lat := u.directAccess(op.Addr, block, false)
+			if !write {
+				u.stallRawNs += lat
+			}
+		case cache.RunFetchPrefetch:
+			u.directAccess(op.Addr, block, false)
+		case cache.RunWriteback:
+			u.directAccess(op.Addr, block, true)
+		}
+	}
+}
+
+// pageBytes is the virtual-memory page size the CPU's TLBs cover.
+const pageBytes = 4096
+
+// tlbLookup translates one address, returning the translation stall. An
+// L1-TLB hit is free, an L2-TLB hit costs a couple of cycles, and a full
+// miss performs a page walk: a real memory read of the page-table entry
+// through the cache hierarchy (PTEs live in a reserved tail of the owning
+// vault, so walk traffic shares DRAM banks with the data).
+func (u *Unit) tlbLookup(addr int64) float64 {
+	if u.tlbL1.Access(addr, false).Hit {
+		return 0
+	}
+	if u.tlbL2.Access(addr, false).Hit {
+		return 2 // L2 TLB hit: ~4 cycles at 2 GHz
+	}
+	e := u.engine
+	v := e.Sys.VaultOf(addr)
+	page := (addr - v.Base) / pageBytes
+	reserved := v.Size / 16
+	// Two-level radix walk: the last two table levels are real memory
+	// reads (the top levels stay cached and are not charged). PMD
+	// entries cover 512 pages each.
+	pmd := v.Base + v.Size - reserved + (page/512*8)%(reserved/2)
+	pte := v.Base + v.Size - reserved/2 + (page*8)%(reserved/2)
+	lat := u.cpuFetchFromLLC(pmd/64*64, 64)
+	lat += u.cpuFetchFromLLC(pte/64*64, 64)
+	return lat
+}
+
+// cpuBlockAccess walks one block through TLB → L1 → LLC → star network →
+// vault.
+func (u *Unit) cpuBlockAccess(addr int64, write bool) {
+	u.stallRawNs += u.tlbLookup(addr)
+	res := u.L1.Access(addr, write)
+	if res.Hit {
+		return
+	}
+	block := u.L1.Config().BlockBytes
+	var stall float64
+	for i, fetch := range res.Fetches {
+		lat := u.cpuFetchFromLLC(fetch, block)
+		if i == 0 { // only the demand block stalls; prefetches overlap
+			stall += lat
+		}
+	}
+	for _, wb := range res.Writebacks {
+		u.cpuWritebackToLLC(wb, block)
+	}
+	u.stallRawNs += stall
+}
+
+// cpuFetchFromLLC brings one block from the LLC (or DRAM below it).
+func (u *Unit) cpuFetchFromLLC(addr int64, block int) float64 {
+	e := u.engine
+	bank := e.nucaBank(addr, block) // block-interleaved NUCA
+	lat := e.mesh.Transfer(u.tile, bank, block)
+	res := e.llc.Access(addr, false)
+	lat += e.llc.Config().HitLatencyNs
+	if res.Hit {
+		return lat
+	}
+	for _, fetch := range res.Fetches {
+		v := e.Sys.VaultOf(fetch)
+		l := e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block) // request+data crossing
+		l += e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		l += v.Read(fetch, block)
+		lat += l
+	}
+	for _, wb := range res.Writebacks {
+		v := e.Sys.VaultOf(wb)
+		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
+		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		v.Write(wb, block)
+	}
+	return lat
+}
+
+// nucaBank hashes a block address onto an LLC tile (block-interleaved
+// NUCA), in shift/mask form when the block size matches the precomputed
+// power-of-two geometry.
+func (e *Engine) nucaBank(addr int64, block int) int {
+	if e.nucaShift > 0 && block == 1<<e.nucaShift {
+		return int((addr >> e.nucaShift) & e.nucaMask)
+	}
+	return int(addr/int64(block)) % e.mesh.Tiles()
+}
+
+// cpuWritebackToLLC spills one dirty L1 block into the LLC.
+func (u *Unit) cpuWritebackToLLC(addr int64, block int) {
+	e := u.engine
+	bank := e.nucaBank(addr, block)
+	e.mesh.Transfer(u.tile, bank, block)
+	res := e.llc.Access(addr, true)
+	if res.Hit {
+		return
+	}
+	for _, wb := range res.Writebacks {
+		v := e.Sys.VaultOf(wb)
+		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
+		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
+		v.Write(wb, block)
+	}
+}
+
+// nmpBlockAccess walks one block through the per-vault L1 and the fabric.
+func (u *Unit) nmpBlockAccess(addr int64, write bool) {
+	res := u.L1.Access(addr, write)
+	if res.Hit {
+		return
+	}
+	block := u.L1.Config().BlockBytes
+	var stall float64
+	for i, fetch := range res.Fetches {
+		lat := u.directAccess(fetch, block, false)
+		if i == 0 {
+			stall += lat
+		}
+	}
+	for _, wb := range res.Writebacks {
+		u.directAccess(wb, block, true)
+	}
+	if !write {
+		u.stallRawNs += stall
+	}
+}
+
+// directAccess reaches the owning vault through mesh/SerDes as needed and
+// returns the one-way latency (request-to-data).
+func (u *Unit) directAccess(addr int64, size int, write bool) float64 {
+	e := u.engine
+	dst := e.Sys.VaultOf(addr)
+	lat := u.routeLatency(dst, size)
+	if write {
+		return lat + dst.Write(addr, size)
+	}
+	return lat + dst.Read(addr, size)
+}
+
+// routeLatency charges the interconnect between this unit and a vault
+// through the unit's memory path.
+func (u *Unit) routeLatency(dst *hmc.Vault, size int) float64 {
+	return u.path.route(u, dst, size)
+}

@@ -29,14 +29,14 @@ import (
 // Energy, stat merges) remain serial, in fixed vault-ID order.
 
 // Workers returns the size of the worker pool a parallel section uses.
-// The CPU architecture always runs serially: its cores share the LLC and
-// the chip mesh, so their simulated accesses are order-dependent.
-// For the vault-resident architectures the pool is Config.Parallelism
+// Specs whose units share simulated state (host cores around an LLC and
+// chip mesh) always run serially: their accesses are order-dependent.
+// For the vault-resident specs the pool is Config.Parallelism
 // workers (default GOMAXPROCS when zero), never more than the unit count.
 // Values above GOMAXPROCS are honored — the goroutines time-share — so
 // race tests exercise real concurrency even on single-core hosts.
 func (e *Engine) Workers() int {
-	if e.cfg.Arch == CPU {
+	if e.sharedUnits() {
 		return 1
 	}
 	w := e.cfg.Parallelism
@@ -58,8 +58,8 @@ func (e *Engine) Workers() int {
 // Every index runs even after a failure; the lowest-index error is
 // returned, matching serial first-error semantics at any worker count.
 func (e *Engine) ForEachVault(fn func(v int, u *Unit) error) error {
-	if e.cfg.Arch == CPU {
-		panic("engine: ForEachVault on the CPU architecture")
+	if e.spec.HostCores {
+		panic("engine: ForEachVault on a host-core system")
 	}
 	return e.forEach(len(e.units), func(i int) error { return fn(i, e.units[i]) })
 }

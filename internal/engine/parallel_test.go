@@ -37,8 +37,8 @@ func TestWorkersPolicy(t *testing.T) {
 		t.Fatalf("Parallelism=99 Workers() = %d, want 8 (unit count)", w)
 	}
 	cfg.Parallelism = -3
-	if w := mustEngine(t, cfg).Workers(); w != 1 {
-		t.Fatalf("Parallelism=-3 Workers() = %d, want 1", w)
+	if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "negative Parallelism") {
+		t.Fatalf("Parallelism=-3 New error = %v, want negative-Parallelism rejection", err)
 	}
 }
 

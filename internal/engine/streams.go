@@ -21,7 +21,8 @@ type StreamReader struct {
 
 // OpenStreams ties the given regions to the unit's stream buffers
 // (prefetch_in_str_buf, Fig. 4b) and returns one reader per region. At
-// most hmc.NumStreamBuffers regions can stream simultaneously on Mondrian
+// most Streams.Buffers() regions (hmc.NumStreamBuffers by default; see
+// engine.Config.StreamBuffers) can stream simultaneously on Mondrian
 // units; cache-backed units accept any count.
 func (u *Unit) OpenStreams(regions ...*Region) ([]*StreamReader, error) {
 	readers := make([]*StreamReader, len(regions))

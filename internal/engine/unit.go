@@ -5,30 +5,34 @@ import (
 
 	"github.com/ecocloud-go/mondrian/internal/cache"
 	"github.com/ecocloud-go/mondrian/internal/hmc"
-	"github.com/ecocloud-go/mondrian/internal/noc"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
 
-// Unit is one compute unit: a CPU core (CPU architecture) or the per-vault
-// logic-layer core (NMP/Mondrian). Operators run on Units; every accessor
-// both performs the functional operation on tuples and routes the memory
-// traffic through the architecture's path so that DRAM row behaviour,
-// interconnect occupancy and core stalls accumulate.
+// Unit is one compute unit: a host core (host-core specs) or the
+// per-vault logic-layer core (vault-resident specs). Operators run on
+// Units; every accessor both performs the functional operation on tuples
+// and routes the memory traffic through the unit's memory path (mempath.go)
+// so that DRAM row behaviour, interconnect occupancy and core stalls
+// accumulate. The accessors below carry only the path-independent
+// bookkeeping — the architecture-specific walks live behind the memPath
+// interface.
 type Unit struct {
 	ID     int
 	engine *Engine
+	path   memPath
 
-	Vault   *hmc.Vault // home vault (nil for CPU cores)
+	Vault   *hmc.Vault // home vault (nil for host cores)
 	L1      *cache.Cache
 	Streams *hmc.StreamBufferSet
 	ObjBuf  *hmc.ObjectBuffer
 
-	tile int // CPU-mesh tile (CPU architecture only)
+	tile int // chip-mesh tile (host cores only)
 
-	// CPU cores translate virtual addresses; the NMP units access their
-	// vaults physically (§5.1), so only CPU units carry TLBs. Random
-	// access over working sets far beyond TLB reach adds page-walk
-	// memory accesses — a first-class cost in full-system simulation.
+	// Host cores translate virtual addresses; the vault-resident units
+	// access their vaults physically (§5.1), so only host cores carry
+	// TLBs. Random access over working sets far beyond TLB reach adds
+	// page-walk memory accesses — a first-class cost in full-system
+	// simulation.
 	tlbL1, tlbL2 *cache.Cache
 
 	// Per-step accounting (reset by BeginStep).
@@ -116,37 +120,16 @@ func (u *Unit) access(addr int64, size int, write bool) {
 		panic("engine: access size must be positive")
 	}
 	u.accesses++
-	e := u.engine
 	u.trace(TraceDemand, addr, size, write)
-	switch e.cfg.Arch {
-	case CPU:
-		block := int64(u.L1.Config().BlockBytes)
-		end := addr + int64(size)
-		for a := addr / block * block; a < end; a += block {
-			u.cpuBlockAccess(a, write)
-		}
-	default:
-		if u.L1 != nil {
-			block := int64(u.L1.Config().BlockBytes)
-			end := addr + int64(size)
-			for a := addr / block * block; a < end; a += block {
-				u.nmpBlockAccess(a, write)
-			}
-			return
-		}
-		// Cacheless Mondrian unit: direct vault access.
-		lat := u.directAccess(addr, size, write)
-		if !write {
-			u.stallRawNs += lat
-		}
-	}
+	u.path.access(u, addr, size, write)
 }
 
 // accessRun is the bulk demand path: one trace record, one accesses tally,
 // and one walk over the run's cache blocks / DRAM rows for count elements.
-// Shapes the fast path cannot prove equivalent — unaligned strides, runs
-// leaving the unit's home vault, NoBulk mode — fall back to per-element
-// access calls, which are the reference semantics by definition.
+// Shapes the unit's memory path cannot prove equivalent — unaligned
+// strides, runs leaving the unit's home vault, NoBulk mode — fall back to
+// per-element access calls, which are the reference semantics by
+// definition.
 func (u *Unit) accessRun(addr int64, stride, count int, write bool) {
 	if count <= 0 {
 		return
@@ -154,8 +137,7 @@ func (u *Unit) accessRun(addr int64, stride, count int, write bool) {
 	if stride <= 0 {
 		panic("engine: access size must be positive")
 	}
-	e := u.engine
-	if count == 1 || e.cfg.NoBulk || !u.runnable(addr, stride, count) {
+	if count == 1 || u.engine.cfg.NoBulk || !u.path.runnable(u, addr, stride, count) {
 		for i := 0; i < count; i++ {
 			u.access(addr+int64(i)*int64(stride), stride, write)
 		}
@@ -163,267 +145,7 @@ func (u *Unit) accessRun(addr int64, stride, count int, write bool) {
 	}
 	u.accesses += uint64(count)
 	u.traceRun(TraceDemand, addr, stride, stride, count, write)
-	switch e.cfg.Arch {
-	case CPU:
-		u.cpuRunAccess(addr, stride, count, write)
-	default:
-		if u.L1 != nil {
-			u.nmpRunAccess(addr, stride, count, write)
-			return
-		}
-		// Cacheless unit, local vault: the route adds zero latency, so
-		// each element's stall is exactly its DRAM latency.
-		if write {
-			u.Vault.WriteRun(addr, stride, count)
-		} else {
-			u.Vault.ReadRun(addr, stride, count, &u.stallRawNs)
-		}
-	}
-}
-
-// runnable reports whether the bulk path can retire this run with provably
-// identical accounting: elements must not straddle cache blocks or DRAM
-// rows (stride-aligned, power-of-two-dividing strides), and on vault-
-// resident units the run must stay inside the home vault so route latency
-// is uniformly zero.
-func (u *Unit) runnable(addr int64, stride, count int) bool {
-	e := u.engine
-	if u.L1 != nil {
-		block := int64(u.L1.Config().BlockBytes)
-		if block%int64(stride) != 0 || addr%int64(stride) != 0 {
-			return false
-		}
-	}
-	row := int64(e.cfg.Geometry.RowBytes)
-	if row%int64(stride) != 0 || addr%int64(stride) != 0 {
-		return false
-	}
-	if e.cfg.Arch != CPU && u.L1 == nil {
-		// Cacheless path goes straight at the vault: require residence.
-		last := addr + int64(stride)*int64(count) - 1
-		if u.Vault == nil || !u.Vault.Contains(addr) || !u.Vault.Contains(last) {
-			return false
-		}
-	}
-	return true
-}
-
-// cpuRunAccess retires a sequential run on a CPU core: per page, one full
-// TLB lookup plus batched TLB hits (the first lookup installs the entry);
-// per L1 block, the cache's own bulk walk; misses route through the LLC
-// exactly as the per-element path does, demand fetches stalling and
-// prefetches overlapping.
-func (u *Unit) cpuRunAccess(addr int64, stride, count int, write bool) {
-	block := u.L1.Config().BlockBytes
-	for count > 0 {
-		pageEnd := (addr/pageBytes + 1) * pageBytes
-		k := int((pageEnd - addr + int64(stride) - 1) / int64(stride))
-		if k > count {
-			k = count
-		}
-		u.stallRawNs += u.tlbLookup(addr)
-		if k > 1 && !u.tlbL1.AccessHitRun(addr+int64(stride), k-1, false) {
-			// The first lookup always installs the page's entry; this
-			// branch only runs on pathological TLB geometries.
-			for i := 1; i < k; i++ {
-				u.stallRawNs += u.tlbLookup(addr + int64(i)*int64(stride))
-			}
-		}
-		u.L1.AccessRun(addr, stride, k, write, &u.runRes)
-		for _, op := range u.runRes.Ops {
-			switch op.Kind {
-			case cache.RunFetchDemand:
-				// Only the demand block stalls; prefetches overlap.
-				u.stallRawNs += u.cpuFetchFromLLC(op.Addr, block)
-			case cache.RunFetchPrefetch:
-				u.cpuFetchFromLLC(op.Addr, block)
-			case cache.RunWriteback:
-				u.cpuWritebackToLLC(op.Addr, block)
-			}
-		}
-		addr += int64(k) * int64(stride)
-		count -= k
-	}
-}
-
-// nmpRunAccess retires a sequential run on a cache-backed vault unit: the
-// L1 batches same-block hits, and the miss traffic list replays through
-// the fabric in the per-element order (demand fetch stalls, prefetches and
-// writebacks only occupy bandwidth).
-func (u *Unit) nmpRunAccess(addr int64, stride, count int, write bool) {
-	u.L1.AccessRun(addr, stride, count, write, &u.runRes)
-	block := u.L1.Config().BlockBytes
-	for _, op := range u.runRes.Ops {
-		switch op.Kind {
-		case cache.RunFetchDemand:
-			lat := u.directAccess(op.Addr, block, false)
-			if !write {
-				u.stallRawNs += lat
-			}
-		case cache.RunFetchPrefetch:
-			u.directAccess(op.Addr, block, false)
-		case cache.RunWriteback:
-			u.directAccess(op.Addr, block, true)
-		}
-	}
-}
-
-// pageBytes is the virtual-memory page size the CPU's TLBs cover.
-const pageBytes = 4096
-
-// tlbLookup translates one address, returning the translation stall. An
-// L1-TLB hit is free, an L2-TLB hit costs a couple of cycles, and a full
-// miss performs a page walk: a real memory read of the page-table entry
-// through the cache hierarchy (PTEs live in a reserved tail of the owning
-// vault, so walk traffic shares DRAM banks with the data).
-func (u *Unit) tlbLookup(addr int64) float64 {
-	if u.tlbL1.Access(addr, false).Hit {
-		return 0
-	}
-	if u.tlbL2.Access(addr, false).Hit {
-		return 2 // L2 TLB hit: ~4 cycles at 2 GHz
-	}
-	e := u.engine
-	v := e.Sys.VaultOf(addr)
-	page := (addr - v.Base) / pageBytes
-	reserved := v.Size / 16
-	// Two-level radix walk: the last two table levels are real memory
-	// reads (the top levels stay cached and are not charged). PMD
-	// entries cover 512 pages each.
-	pmd := v.Base + v.Size - reserved + (page/512*8)%(reserved/2)
-	pte := v.Base + v.Size - reserved/2 + (page*8)%(reserved/2)
-	lat := u.cpuFetchFromLLC(pmd/64*64, 64)
-	lat += u.cpuFetchFromLLC(pte/64*64, 64)
-	return lat
-}
-
-// cpuBlockAccess walks one block through TLB → L1 → LLC → star network →
-// vault.
-func (u *Unit) cpuBlockAccess(addr int64, write bool) {
-	u.stallRawNs += u.tlbLookup(addr)
-	res := u.L1.Access(addr, write)
-	if res.Hit {
-		return
-	}
-	block := u.L1.Config().BlockBytes
-	var stall float64
-	for i, fetch := range res.Fetches {
-		lat := u.cpuFetchFromLLC(fetch, block)
-		if i == 0 { // only the demand block stalls; prefetches overlap
-			stall += lat
-		}
-	}
-	for _, wb := range res.Writebacks {
-		u.cpuWritebackToLLC(wb, block)
-	}
-	u.stallRawNs += stall
-}
-
-// cpuFetchFromLLC brings one block from the LLC (or DRAM below it).
-func (u *Unit) cpuFetchFromLLC(addr int64, block int) float64 {
-	e := u.engine
-	bank := e.nucaBank(addr, block) // block-interleaved NUCA
-	lat := e.mesh.Transfer(u.tile, bank, block)
-	res := e.llc.Access(addr, false)
-	lat += e.llc.Config().HitLatencyNs
-	if res.Hit {
-		return lat
-	}
-	for _, fetch := range res.Fetches {
-		v := e.Sys.VaultOf(fetch)
-		l := e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block) // request+data crossing
-		l += e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
-		l += v.Read(fetch, block)
-		lat += l
-	}
-	for _, wb := range res.Writebacks {
-		v := e.Sys.VaultOf(wb)
-		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
-		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
-		v.Write(wb, block)
-	}
-	return lat
-}
-
-// nucaBank hashes a block address onto an LLC tile (block-interleaved
-// NUCA), in shift/mask form when the block size matches the precomputed
-// power-of-two geometry.
-func (e *Engine) nucaBank(addr int64, block int) int {
-	if e.nucaShift > 0 && block == 1<<e.nucaShift {
-		return int((addr >> e.nucaShift) & e.nucaMask)
-	}
-	return int(addr/int64(block)) % e.mesh.Tiles()
-}
-
-// cpuWritebackToLLC spills one dirty L1 block into the LLC.
-func (u *Unit) cpuWritebackToLLC(addr int64, block int) {
-	e := u.engine
-	bank := e.nucaBank(addr, block)
-	e.mesh.Transfer(u.tile, bank, block)
-	res := e.llc.Access(addr, true)
-	if res.Hit {
-		return
-	}
-	for _, wb := range res.Writebacks {
-		v := e.Sys.VaultOf(wb)
-		e.Sys.Net.Transfer(noc.CPUNode, v.Cube, block)
-		e.Sys.Cubes[v.Cube].Mesh.Transfer(0, v.Tile, block)
-		v.Write(wb, block)
-	}
-}
-
-// nmpBlockAccess walks one block through the per-vault L1 and the fabric.
-func (u *Unit) nmpBlockAccess(addr int64, write bool) {
-	res := u.L1.Access(addr, write)
-	if res.Hit {
-		return
-	}
-	block := u.L1.Config().BlockBytes
-	var stall float64
-	for i, fetch := range res.Fetches {
-		lat := u.directAccess(fetch, block, false)
-		if i == 0 {
-			stall += lat
-		}
-	}
-	for _, wb := range res.Writebacks {
-		u.directAccess(wb, block, true)
-	}
-	if !write {
-		u.stallRawNs += stall
-	}
-}
-
-// directAccess reaches the owning vault through mesh/SerDes as needed and
-// returns the one-way latency (request-to-data).
-func (u *Unit) directAccess(addr int64, size int, write bool) float64 {
-	e := u.engine
-	dst := e.Sys.VaultOf(addr)
-	lat := u.routeLatency(dst, size)
-	if write {
-		return lat + dst.Write(addr, size)
-	}
-	return lat + dst.Read(addr, size)
-}
-
-// routeLatency charges the interconnect between this unit and a vault.
-func (u *Unit) routeLatency(dst *hmc.Vault, size int) float64 {
-	e := u.engine
-	if e.cfg.Arch == CPU {
-		lat := e.Sys.Net.Transfer(noc.CPUNode, dst.Cube, size)
-		return lat + e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
-	}
-	src := u.Vault
-	if src == dst {
-		return 0
-	}
-	if src.Cube == dst.Cube {
-		return e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, dst.Tile, size)
-	}
-	lat := e.Sys.Cubes[src.Cube].Mesh.Transfer(src.Tile, 0, size)
-	lat += e.Sys.Net.Transfer(src.Cube, dst.Cube, size)
-	lat += e.Sys.Cubes[dst.Cube].Mesh.Transfer(0, dst.Tile, size)
-	return lat
+	u.path.accessRun(u, addr, stride, count, write)
 }
 
 // --- tuple-level accessors ------------------------------------------------
@@ -519,9 +241,8 @@ func (u *Unit) SendAt(dst *Region, idx int, t tuple.Tuple) {
 	}
 	ensureLen(dst, idx+1)
 	dst.Tuples[idx] = t
-	e := u.engine
-	if e.cfg.Arch == CPU {
-		// CPU stores go through the cache hierarchy.
+	if u.path.demandShuffle() {
+		// Host-core stores go through the cache hierarchy.
 		u.WriteBytes(dst.addrOf(idx), tuple.Size)
 		return
 	}

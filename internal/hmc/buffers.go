@@ -91,6 +91,7 @@ type streamState struct {
 // bandwidth saturation limits streaming throughput.
 type StreamBufferSet struct {
 	vault   *Vault
+	bufs    int // number of stream buffers in this set
 	streams []streamState
 
 	// FillBytes counts bytes prefetched from DRAM into the buffers.
@@ -98,17 +99,30 @@ type StreamBufferSet struct {
 }
 
 // NewStreamBufferSet creates the buffer set for a compute unit co-located
-// with the given vault.
+// with the given vault, with the architectural NumStreamBuffers buffers.
 func NewStreamBufferSet(v *Vault) *StreamBufferSet {
-	return &StreamBufferSet{vault: v}
+	return NewStreamBufferSetN(v, NumStreamBuffers)
 }
 
-// Configure ties up to NumStreamBuffers address ranges to the buffers
+// NewStreamBufferSetN creates a buffer set with n stream buffers — the
+// sensitivity-sweep knob behind engine.Config.StreamBuffers. n <= 0
+// selects the architectural default.
+func NewStreamBufferSetN(v *Vault, n int) *StreamBufferSet {
+	if n <= 0 {
+		n = NumStreamBuffers
+	}
+	return &StreamBufferSet{vault: v, bufs: n}
+}
+
+// Buffers returns how many stream buffers the set provides.
+func (s *StreamBufferSet) Buffers() int { return s.bufs }
+
+// Configure ties up to Buffers() address ranges to the buffers
 // (prefetch_in_str_buf in Fig. 4b) and primes each with its initial fill.
 // All ranges must lie in the unit's local vault.
 func (s *StreamBufferSet) Configure(ranges []Range) error {
-	if len(ranges) > NumStreamBuffers {
-		return fmt.Errorf("%w: %d > %d", ErrTooManyStreams, len(ranges), NumStreamBuffers)
+	if len(ranges) > s.bufs {
+		return fmt.Errorf("%w: %d > %d", ErrTooManyStreams, len(ranges), s.bufs)
 	}
 	s.streams = s.streams[:0]
 	for _, r := range ranges {

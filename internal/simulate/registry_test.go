@@ -1,0 +1,144 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuiltinRegistry pins the seven paper systems to their fixed
+// handles, names, and spec selectors.
+func TestBuiltinRegistry(t *testing.T) {
+	want := []string{"CPU", "NMP", "NMP-perm", "NMP-rand", "NMP-seq", "Mondrian-noperm", "Mondrian"}
+	names := SystemNames()
+	if len(names) < len(want) {
+		t.Fatalf("SystemNames() = %v, want at least the %d builtins", names, len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("SystemNames()[%d] = %q, want %q", i, names[i], w)
+		}
+		if got := System(i).String(); got != w {
+			t.Errorf("System(%d).String() = %q, want %q", i, got, w)
+		}
+	}
+	if got := Systems(); len(got) != int(numSystems) {
+		t.Fatalf("Systems() has %d entries, want %d builtins only", len(got), numSystems)
+	}
+	// The probe-algorithm selectors of §6.
+	for s, wantSort := range map[System]bool{
+		CPU: false, NMP: false, NMPPerm: false, NMPRand: false,
+		NMPSeq: true, MondrianNoPerm: true, Mondrian: true,
+	} {
+		sp, ok := SpecOf(s)
+		if !ok {
+			t.Fatalf("SpecOf(%v) not found", s)
+		}
+		if sp.SortProbe != wantSort {
+			t.Errorf("%v SortProbe = %v, want %v", s, sp.SortProbe, wantSort)
+		}
+	}
+}
+
+// TestSystemStringUnknown covers the out-of-registry default branch.
+func TestSystemStringUnknown(t *testing.T) {
+	if got := System(9999).String(); got != "System(9999)" {
+		t.Fatalf("System(9999).String() = %q", got)
+	}
+	if got := System(-1).String(); got != "System(-1)" {
+		t.Fatalf("System(-1).String() = %q", got)
+	}
+	if _, ok := SpecOf(System(9999)); ok {
+		t.Fatal("SpecOf(9999) found a spec")
+	}
+}
+
+// TestRegisterErrors covers the registry's rejection paths: empty and
+// duplicate (case-insensitive) names.
+func TestRegisterErrors(t *testing.T) {
+	if _, err := Register(Spec{}); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Fatalf("Register(empty name) error = %v", err)
+	}
+	if _, err := Register(Spec{Name: "mondrian"}); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("Register(duplicate, case-folded) error = %v", err)
+	}
+	if _, err := Register(Spec{Name: "CPU"}); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("Register(duplicate) error = %v", err)
+	}
+}
+
+// TestParseSystem covers case-insensitive resolution and the unknown-name
+// diagnostic (which must enumerate the registered names).
+func TestParseSystem(t *testing.T) {
+	for name, want := range map[string]System{
+		"cpu": CPU, "CPU": CPU, "nmp-perm": NMPPerm, "Mondrian-NoPerm": MondrianNoPerm,
+		"mondrian": Mondrian, "NMP-SEQ": NMPSeq,
+	} {
+		got, err := ParseSystem(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSystem(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	_, err := ParseSystem("abacus")
+	if err == nil || !strings.Contains(err.Error(), "NMP-perm") {
+		t.Fatalf("ParseSystem(abacus) error = %v, want one naming the registered systems", err)
+	}
+}
+
+// TestParseOperator covers the four spellings plus aliases and errors.
+func TestParseOperator(t *testing.T) {
+	for name, want := range map[string]Operator{
+		"scan": OpScan, "Sort": OpSort, "groupby": OpGroupBy,
+		"group-by": OpGroupBy, "JOIN": OpJoin,
+	} {
+		got, err := ParseOperator(name)
+		if err != nil || got != want {
+			t.Errorf("ParseOperator(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseOperator("shuffleboard"); err == nil || !strings.Contains(err.Error(), "scan") {
+		t.Fatalf("ParseOperator(shuffleboard) error = %v", err)
+	}
+}
+
+// TestRunRejectsUnregisteredSystem keeps the Run boundary's typed error
+// for out-of-registry handles.
+func TestRunRejectsUnregisteredSystem(t *testing.T) {
+	_, err := Run(System(10_000), OpScan, TestParams())
+	pe, ok := err.(*ParamError)
+	if !ok || pe.Field != "System" {
+		t.Fatalf("Run(unregistered system) error = %v, want *ParamError on System", err)
+	}
+}
+
+// TestRegisteredSystemRunsEndToEnd registers a derived Mondrian variant
+// (four stream buffers instead of eight) and runs it through the same
+// validated Run front door as the builtins. Scan opens one stream per
+// unit, so it is insensitive to the shrunken set's capacity limit —
+// the run must verify, and the handle must stringify to its name.
+func TestRegisteredSystemRunsEndToEnd(t *testing.T) {
+	sp, ok := SpecOf(Mondrian)
+	if !ok {
+		t.Fatal("Mondrian spec missing")
+	}
+	sp.Name = "Mondrian-4sb"
+	sp.Engine.StreamBuffers = 4
+	s, err := Register(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "Mondrian-4sb" {
+		t.Fatalf("registered handle stringifies to %q", s)
+	}
+	p := TestParams()
+	p.STuples = 1 << 12
+	res, err := Run(s, OpScan, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("registered-system scan did not verify")
+	}
+	if res.System != s {
+		t.Fatalf("result carries system %v, want %v", res.System, s)
+	}
+}

@@ -18,61 +18,12 @@ import (
 	"os"
 	"strconv"
 
-	"github.com/ecocloud-go/mondrian/internal/cache"
-	"github.com/ecocloud-go/mondrian/internal/cores"
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/energy"
 	"github.com/ecocloud-go/mondrian/internal/engine"
-	"github.com/ecocloud-go/mondrian/internal/noc"
 	"github.com/ecocloud-go/mondrian/internal/operators"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
-
-// System identifies one evaluated configuration.
-type System int
-
-// The evaluated systems.
-const (
-	CPU System = iota
-	NMP
-	NMPPerm
-	NMPRand
-	NMPSeq
-	MondrianNoPerm
-	Mondrian
-	numSystems
-)
-
-// Systems lists every configuration.
-func Systems() []System {
-	out := make([]System, numSystems)
-	for i := range out {
-		out[i] = System(i)
-	}
-	return out
-}
-
-// String implements fmt.Stringer.
-func (s System) String() string {
-	switch s {
-	case CPU:
-		return "CPU"
-	case NMP:
-		return "NMP"
-	case NMPPerm:
-		return "NMP-perm"
-	case NMPRand:
-		return "NMP-rand"
-	case NMPSeq:
-		return "NMP-seq"
-	case MondrianNoPerm:
-		return "Mondrian-noperm"
-	case Mondrian:
-		return "Mondrian"
-	default:
-		return fmt.Sprintf("System(%d)", int(s))
-	}
-}
 
 // Params fixes the experimental setup (Table 3 scaled to the simulation
 // budget: speedups are ratios and the model is scale-invariant, so the
@@ -195,66 +146,42 @@ func (p Params) geometry() dram.Geometry {
 	return g
 }
 
-// EngineConfig builds the engine configuration for a system.
+// EngineConfig builds the engine configuration for a system: the
+// registered identity template (registry.go) plus this Params'
+// experiment-owned fields. It panics on an unregistered System handle;
+// Run validates first and returns a typed *ParamError instead.
 func (p Params) EngineConfig(s System) engine.Config {
-	base := engine.Config{
-		Cubes:       p.Cubes,
-		VaultsPer:   p.VaultsPer,
-		Geometry:    p.geometry(),
-		Timing:      dram.HMCTiming(),
-		ObjectSize:  tuple.Size,
-		BarrierNs:   p.BarrierNs,
-		Parallelism: p.Parallelism,
-		NoBulk:      p.NoBulk,
-	}
-	switch s {
-	case CPU:
-		base.Arch = engine.CPU
-		base.Core = cores.CortexA57()
-		base.CPUCores = p.CPUCores
-		base.Topology = noc.Star
-		base.L1 = cache.L1D32K()
-		base.LLC = cache.LLC4M()
-	case NMP, NMPRand, NMPSeq:
-		base.Arch = engine.NMP
-		base.Core = cores.Krait400()
-		base.Topology = noc.FullyConnected
-		base.L1 = cache.L1D32K()
-	case NMPPerm:
-		base.Arch = engine.NMP
-		base.Core = cores.Krait400()
-		base.Topology = noc.FullyConnected
-		base.L1 = cache.L1D32K()
-		base.Permutable = true
-	case MondrianNoPerm:
-		base.Arch = engine.Mondrian
-		base.Core = cores.CortexA35Mondrian()
-		base.Topology = noc.FullyConnected
-		base.UseStreams = true
-	case Mondrian:
-		base.Arch = engine.Mondrian
-		base.Core = cores.CortexA35Mondrian()
-		base.Topology = noc.FullyConnected
-		base.Permutable = true
-		base.UseStreams = true
-	default:
+	sp, ok := SpecOf(s)
+	if !ok {
 		panic(fmt.Sprintf("simulate: unknown system %v", s))
 	}
-	return base
+	cfg := sp.Engine
+	cfg.Cubes = p.Cubes
+	cfg.VaultsPer = p.VaultsPer
+	cfg.Geometry = p.geometry()
+	cfg.Timing = dram.HMCTiming()
+	cfg.ObjectSize = tuple.Size
+	cfg.BarrierNs = p.BarrierNs
+	cfg.Parallelism = p.Parallelism
+	cfg.NoBulk = p.NoBulk
+	if sp.HostCores {
+		cfg.CPUCores = p.CPUCores
+	}
+	return cfg
 }
 
-// OperatorConfig builds the operator configuration for a system: the CPU
-// and NMP-rand run the hash algorithms, NMP-seq and the Mondrian variants
-// the sort-based ones (§6).
+// OperatorConfig builds the operator configuration for a system from the
+// registered spec's algorithm selectors: the CPU and NMP-rand run the
+// hash algorithms, NMP-seq and the Mondrian variants the sort-based ones
+// (§6).
 func (p Params) OperatorConfig(s System) operators.Config {
 	cfg := operators.Config{Costs: operators.DefaultCosts(), KeySpace: p.KeySpace,
 		CPUBuckets: p.CPUBuckets}
-	switch s {
-	case NMPSeq:
-		cfg.SortProbe = true
-	case Mondrian, MondrianNoPerm:
-		cfg.Costs = operators.MondrianCosts()
-		cfg.SortProbe = true
+	if sp, ok := SpecOf(s); ok {
+		if sp.MondrianCosts {
+			cfg.Costs = operators.MondrianCosts()
+		}
+		cfg.SortProbe = sp.SortProbe
 	}
 	return cfg
 }

@@ -143,8 +143,8 @@ func (p Params) Validate() error {
 // validateSystemOperator range-checks the experiment selectors, which are
 // caller inputs just like Params fields.
 func validateSystemOperator(s System, op Operator) error {
-	if s < 0 || s >= numSystems {
-		return &ParamError{"System", int(s), fmt.Sprintf("want 0..%d", int(numSystems)-1)}
+	if n := registeredSystems(); s < 0 || int(s) >= n {
+		return &ParamError{"System", int(s), fmt.Sprintf("want a registered system 0..%d", n-1)}
 	}
 	if op < 0 || op >= numOperators {
 		return &ParamError{"Operator", int(op), fmt.Sprintf("want 0..%d", int(numOperators)-1)}

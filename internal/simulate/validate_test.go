@@ -126,7 +126,9 @@ func TestRunRejectsCrashReproducers(t *testing.T) {
 // TestRunRejectsBadSystemOperator covers the selector range checks.
 func TestRunRejectsBadSystemOperator(t *testing.T) {
 	p := TestParams()
-	for _, s := range []System{-1, numSystems, 99} {
+	// Indices at or above the current registry size are invalid; use the
+	// live boundary since tests may have registered systems of their own.
+	for _, s := range []System{-1, System(registeredSystems()), 1 << 20} {
 		if _, err := Run(s, OpScan, p); err == nil {
 			t.Fatalf("system %d accepted", s)
 		}
