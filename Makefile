@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench-smoke staticcheck ci
+.PHONY: build test vet race fuzz bench bench-smoke bench-baseline bench-guard staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -40,14 +40,35 @@ fuzz:
 
 # Operator benchmarks (bulk fast path vs per-tuple reference), converted
 # to a benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
-# reconstructs plain `go test -bench` output for benchstat.
+# reconstructs plain `go test -bench` output for benchstat. The second
+# step regenerates BENCH_PR5.json: one compact run manifest per
+# System × Operator through the observability exporter, the structured
+# per-run counter trajectory the BENCH_* files track across PRs.
 bench:
 	$(GO) test -bench=BenchmarkOp -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 	@echo wrote BENCH_PR2.json
+	rm -f BENCH_PR5.json
+	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
+	@echo wrote BENCH_PR5.json
 
-# One-iteration smoke pass over every benchmark (CI keeps this fast).
+# One-iteration smoke pass over every benchmark (CI keeps this fast),
+# plus a fresh manifest for the CI artifact upload.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	rm -f BENCH_PR5.json
+	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
+
+# Re-record the disabled-metrics overhead baseline (run on the reference
+# machine; benchguard skips when the CPU model differs).
+bench-baseline:
+	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
+	@echo wrote BENCH_BASELINE.json
+
+# Fail if the nil-registry (observability disabled) path got >5% slower
+# than the recorded baseline. Guard output stays out of the repo.
+bench-guard:
+	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_obs_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_obs_current.json
 
 # ci mirrors .github/workflows/ci.yml: tier-1 build+vet+test, then the race pass.
 ci: test vet race

@@ -14,6 +14,7 @@ import (
 
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/operators"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
@@ -516,6 +517,47 @@ func BenchmarkEngineParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead prices the observability layer on the heaviest
+// experiment (Mondrian Join): "disabled" is the default nil-registry
+// configuration — its entire cost is one nil-check at each phase
+// boundary — and "enabled" collects every counter, span and the manifest.
+// cmd/benchguard holds the disabled number to within 5% of the recorded
+// BENCH_BASELINE.json, so instrumentation can never tax users who did
+// not ask for it. The reduced test configuration keeps CI's 2-iteration
+// guard run fast.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := simulate.TestParams()
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := simulate.Run(simulate.Mondrian, simulate.OpJoin, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Verified {
+				b.Fatal("join not verified")
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := p
+			p.Obs = obs.NewRegistry()
+			r, err := simulate.Run(simulate.Mondrian, simulate.OpJoin, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !r.Verified {
+				b.Fatal("join not verified")
+			}
+			if m := simulate.BuildManifest(r, p, true); m.Metrics.Counters["accesses_total"] == 0 {
+				b.Fatal("manifest empty")
+			}
+		}
+	})
 }
 
 // BenchmarkAblationSchedulerWindow quantifies §4.1.2's claim that

@@ -1,0 +1,120 @@
+// Command benchguard compares a fresh benchjson snapshot against a
+// recorded baseline and fails when any matched benchmark's ns/op
+// regressed beyond the threshold. CI runs it on the disabled-metrics
+// overhead benchmark: the observability layer's nil-registry path must
+// stay free, and a >5% drift there fails the build.
+//
+// Wall-clock numbers only compare within one machine class, so the guard
+// skips (exit 0, with a notice) when the baseline and current snapshots
+// report different CPU models — a baseline recorded on a laptop must not
+// fail CI runners, and vice versa. Re-record the baseline with
+// `make bench-baseline` on the reference machine.
+//
+// Usage:
+//
+//	go test -bench=ObsOverhead -benchtime=5x -run '^$' . | go run ./cmd/benchjson > cur.json
+//	go run ./cmd/benchguard -baseline BENCH_BASELINE.json -current cur.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+)
+
+// Result mirrors cmd/benchjson's parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot mirrors cmd/benchjson's output document.
+type Snapshot struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		basePath  = flag.String("baseline", "BENCH_BASELINE.json", "recorded baseline snapshot (benchjson format)")
+		curPath   = flag.String("current", "", "fresh snapshot to check (benchjson format)")
+		match     = flag.String("match", `^BenchmarkObsOverhead/disabled`, "regexp selecting the benchmarks to guard")
+		threshold = flag.Float64("threshold", 0.05, "max allowed fractional ns/op regression")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		log.Fatal("missing -current snapshot")
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		log.Fatalf("-match: %v", err)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if base.CPU != cur.CPU {
+		fmt.Printf("benchguard: skipping — baseline CPU %q != current CPU %q (re-record with make bench-baseline)\n",
+			base.CPU, cur.CPU)
+		return
+	}
+
+	baseNs := make(map[string]float64, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseNs[r.Name] = r.NsPerOp
+	}
+	checked, failed := 0, 0
+	for _, r := range cur.Benchmarks {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		want, ok := baseNs[r.Name]
+		if !ok {
+			fmt.Printf("benchguard: %s: no baseline entry, skipping\n", r.Name)
+			continue
+		}
+		checked++
+		ratio := r.NsPerOp / want
+		status := "ok"
+		if ratio > 1+*threshold {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Printf("benchguard: %-40s %12.0f ns/op vs baseline %12.0f (%+.1f%%) %s\n",
+			r.Name, r.NsPerOp, want, (ratio-1)*100, status)
+	}
+	if checked == 0 {
+		log.Fatalf("no benchmark in %s matched %q — guard would silently pass", *curPath, *match)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d guarded benchmarks regressed more than %.0f%%", failed, checked, *threshold*100)
+	}
+}
+
+func load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}

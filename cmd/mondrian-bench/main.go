@@ -5,11 +5,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
+	"github.com/ecocloud-go/mondrian/internal/cliio"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/report"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 )
@@ -24,6 +28,7 @@ func main() {
 		params = flag.Bool("params", false, "print Table 3/4 simulation parameters and exit")
 		only   = flag.String("only", "", "run a single experiment: table5|fig6|fig7|fig8|fig9")
 		asJSON = flag.Bool("json", false, "emit all artifacts as JSON instead of text")
+		manOut = flag.String("manifest", "", "append one compact JSON run manifest per (system, operator) to `file` and exit (\"-\" = stdout)")
 		par    = flag.Int("parallelism", 0, "host worker pool for per-vault execution (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 		cpuOut = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 		memOut = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
@@ -76,6 +81,13 @@ func main() {
 
 	if *params {
 		report.WriteParams(os.Stdout, p)
+		return
+	}
+
+	if *manOut != "" {
+		if err := writeManifests(*manOut, p); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -136,4 +148,36 @@ func main() {
 		return nil
 	})
 	fmt.Println()
+}
+
+// writeManifests runs the full system × operator matrix with metrics
+// enabled and appends one compact JSON manifest per run to path — the
+// machine-readable benchmark artifact (make bench emits BENCH_PR5.json
+// this way). Each run gets a fresh registry so counters never bleed
+// across experiments.
+func writeManifests(path string, p simulate.Params) error {
+	return cliio.AppendFile(path, func(w io.Writer) error {
+		for _, s := range simulate.Systems() {
+			for _, op := range simulate.Operators() {
+				p := p
+				p.Obs = obs.NewRegistry()
+				start := time.Now()
+				res, err := simulate.Run(s, op, p)
+				wall := time.Since(start)
+				if err != nil {
+					return fmt.Errorf("%v/%v: %w", s, op, err)
+				}
+				if !res.Verified {
+					return fmt.Errorf("%v/%v: output verification failed", s, op)
+				}
+				m := simulate.BuildManifest(res, p, false)
+				m.Host.WallNs = wall.Nanoseconds()
+				m.Host.Timestamp = start.UTC().Format(time.RFC3339)
+				if err := m.WriteJSONLine(w); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
 }

@@ -13,12 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
 	"text/tabwriter"
+	"time"
 
+	"github.com/ecocloud-go/mondrian/internal/cliio"
 	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 )
 
@@ -79,6 +83,12 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		steps    = flag.Bool("steps", false, "print the per-step timeline")
 
+		// Observability outputs. Setting any of them enables the metrics
+		// registry for the run; "-" writes to stdout.
+		metricsOut = flag.String("metrics", "", "write the JSON run manifest to `file` (\"-\" = stdout)")
+		promOut    = flag.String("prom", "", "write the metrics in Prometheus text format to `file` (\"-\" = stdout)")
+		spans      = flag.Bool("spans", false, "collect the simulated-time span tree: print it and embed it in -metrics")
+
 		// Spec overrides: derive a custom variant of -system.
 		topo       = flag.String("topology", "", "override the inter-cube topology: star or full")
 		l1Bytes    = flag.Int("l1-bytes", 0, "override the per-unit L1 capacity in bytes (0 = system default)")
@@ -113,7 +123,13 @@ func run() error {
 		p.CPUCores = *cpuCores
 	}
 
+	observing := *metricsOut != "" || *promOut != "" || *spans
+	if observing {
+		p.Obs = obs.NewRegistry()
+	}
+	start := time.Now()
 	res, err := simulate.Run(sys, op, p)
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -148,6 +164,33 @@ func run() error {
 			}
 			fmt.Printf("  %2d %-32s %10.1f µs  (compute %.1f µs, mem %.1f µs, net %.1f µs, IPC %.2f)\n",
 				i, st.Name, st.Ns/1e3, st.MaxUnitNs/1e3, st.MemNs/1e3, st.NetNs/1e3, st.AggIPC)
+		}
+	}
+
+	if !observing {
+		return nil
+	}
+	m := simulate.BuildManifest(res, p, *spans)
+	m.Host.WallNs = wall.Nanoseconds()
+	m.Host.Timestamp = start.UTC().Format(time.RFC3339)
+	if *spans {
+		fmt.Println("\nspan tree (simulated time):")
+		if err := res.Spans.WriteTree(os.Stdout, 2); err != nil {
+			return err
+		}
+	}
+	if *metricsOut != "" {
+		if err := cliio.WriteFile(*metricsOut, func(w io.Writer) error {
+			return m.WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if *promOut != "" {
+		if err := cliio.WriteFile(*promOut, func(w io.Writer) error {
+			return obs.WritePrometheus(w, p.Obs)
+		}); err != nil {
+			return err
 		}
 	}
 	return nil

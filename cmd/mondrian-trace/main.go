@@ -11,14 +11,14 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"os"
 	"sort"
 	"strings"
 
+	"github.com/ecocloud-go/mondrian/internal/cliio"
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/operators"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
@@ -91,12 +91,12 @@ func run() error {
 
 	events := rec.Events()
 	if *csv {
-		out := bufio.NewWriter(os.Stdout)
-		defer out.Flush()
-		if err := trace.WriteCSV(out, events); err != nil {
-			return err
-		}
-		return nil
+		// cliio flushes the buffered writer and surfaces its error even
+		// when WriteCSV fails mid-stream, so a broken pipe or full disk
+		// can't silently truncate the trace.
+		return cliio.WriteFile(cliio.Stdout, func(out io.Writer) error {
+			return trace.WriteCSV(out, events)
+		})
 	}
 
 	rowBytes := p.EngineConfig(sys).Geometry.RowBytes

@@ -61,6 +61,33 @@ func TestUnitBulkAccessZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestObsDisabledZeroAllocSteadyState pins the ISSUE-5 acceptance bound:
+// with observability disabled (nil registry — the default), the phase
+// hooks plus the bulk hot loop allocate nothing. The hooks' entire
+// disabled cost is one nil-check each.
+func TestObsDisabledZeroAllocSteadyState(t *testing.T) {
+	const n = 4096
+	for name, cfg := range map[string]Config{"nmp": nmpConfig(false), "mondrian": mondrianConfig()} {
+		t.Run(name, func(t *testing.T) {
+			e := mustEngine(t, cfg)
+			r, err := e.Place(0, make([]tuple.Tuple, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := e.Units()[0]
+			run := func() {
+				e.BeginPhase("probe")
+				u.ReadRunBytes(r.Addr, tuple.Size, n)
+				e.EndPhase()
+			}
+			run()
+			if allocs := testing.AllocsPerRun(5, run); allocs != 0 {
+				t.Errorf("disabled-obs phase hooks + bulk sweep allocate %.1f times per run", allocs)
+			}
+		})
+	}
+}
+
 // nullTracer counts events without storing them, so the measurement sees
 // only the engine's own buffering allocations.
 type nullTracer struct{ n int }

@@ -20,12 +20,14 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/ecocloud-go/mondrian/internal/cache"
 	"github.com/ecocloud-go/mondrian/internal/cores"
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/hmc"
 	"github.com/ecocloud-go/mondrian/internal/noc"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
 
@@ -96,6 +98,13 @@ type Config struct {
 	// either way (the differential tests assert it); only host wall-clock
 	// time changes. Intended for debugging and the differential suite.
 	NoBulk bool
+	// Obs, when non-nil, enables the observability layer: phase tracking
+	// (BeginPhase/EndPhase), exchange summaries, and post-run metric
+	// harvesting via CollectObs/BuildSpans. The metrics are collected from
+	// deterministic simulation state at serial points, so they are
+	// byte-identical at every Parallelism. nil (the default) is the
+	// near-zero-cost disabled path.
+	Obs *obs.Registry
 }
 
 // Validate checks internal consistency, including that the resolved
@@ -224,6 +233,16 @@ type Engine struct {
 	steps      []StepTiming
 	totalNs    float64
 	barrierCnt int
+
+	// Observability state (obs.go); populated only when cfg.Obs != nil.
+	phaseOpen bool
+	curPhase  PhaseTiming
+	phaseSnap obsTotals
+	phaseWall time.Time
+	phaseSeen map[string]int
+	phases    []PhaseTiming
+	stepUnits [][]float64 // per-step per-unit TimeNs, aligned with steps
+	exchanges []exchangeRecord
 }
 
 // New builds an engine from a configuration: the system spec (Config.Spec,

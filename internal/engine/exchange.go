@@ -237,6 +237,7 @@ func (x *Exchange) Flush() error {
 			e.recordRouteBulk(e.units[s].Vault, x.dests[d].Vault, msgSize, n)
 		}
 	}
+	x.recordObs(msgSize)
 	return nil
 }
 

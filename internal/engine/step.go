@@ -99,8 +99,12 @@ func (e *Engine) EndStep() StepTiming {
 	e.inStep = false
 	p := e.profile
 
+	var unitNs []float64
+	if e.cfg.Obs != nil {
+		unitNs = make([]float64, len(e.units))
+	}
 	var maxUnit, sumInsts float64
-	for _, u := range e.units {
+	for i, u := range e.units {
 		w := cores.Work{
 			Instructions:     u.insts,
 			DependencyIPC:    p.DepIPC,
@@ -111,10 +115,15 @@ func (e *Engine) EndStep() StepTiming {
 		}
 		r := e.cfg.Core.PhaseTime(w)
 		u.busyNs += r.TimeNs
+		u.accessTotal += u.accesses
+		u.accesses = 0 // folded into accessTotal; keeps between-step snapshots exact
 		if r.TimeNs > maxUnit {
 			maxUnit = r.TimeNs
 		}
 		sumInsts += u.insts
+		if unitNs != nil {
+			unitNs[i] = r.TimeNs
+		}
 	}
 
 	var memNs, netNs float64
@@ -149,6 +158,9 @@ func (e *Engine) EndStep() StepTiming {
 	}
 	st.bytes = e.Sys.TotalDRAMStats().TotalBytes() - e.snap.dramBytes
 	e.steps = append(e.steps, st)
+	if unitNs != nil {
+		e.stepUnits = append(e.stepUnits, unitNs)
+	}
 	e.totalNs += ns
 	return st
 }
@@ -162,6 +174,9 @@ func (e *Engine) Barrier() {
 	e.totalNs += e.cfg.BarrierNs
 	e.barrierCnt++
 	e.steps = append(e.steps, StepTiming{Name: "barrier", Ns: e.cfg.BarrierNs})
+	if e.cfg.Obs != nil {
+		e.stepUnits = append(e.stepUnits, nil) // keep stepUnits aligned with steps
+	}
 }
 
 // Barriers returns how many barriers the run executed.

@@ -41,8 +41,9 @@ type Unit struct {
 	accesses   uint64
 
 	// Run accounting.
-	busyNs    float64
-	instTotal float64
+	busyNs      float64
+	instTotal   float64
+	accessTotal uint64 // accesses folded in at each EndStep
 
 	// Trace buffering during parallel sections (parallel.go): events are
 	// collected per unit and replayed in unit-ID order at the join.

@@ -21,6 +21,9 @@ type ObjectBuffer struct {
 
 	// Flushes counts object-sized messages injected into the network.
 	Flushes uint64
+	// Pushes counts store operations absorbed by the buffer — with
+	// Flushes, this gives the buffer's hit (coalescing) rate.
+	Pushes uint64
 }
 
 // NewObjectBuffer creates an object buffer for the given object size.
@@ -41,6 +44,7 @@ func (b *ObjectBuffer) Push(n int) int {
 		panic("hmc: ObjectBuffer.Push requires positive n")
 	}
 	b.pending += n
+	b.Pushes++
 	flushes := b.pending / b.objectSize
 	b.pending %= b.objectSize
 	b.Flushes += uint64(flushes)

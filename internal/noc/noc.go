@@ -26,12 +26,22 @@ type Mesh struct {
 	hops []uint8
 }
 
+// MaxHopBucket bounds the per-hop message histogram in MeshStats; longer
+// routes (impossible on the paper's 4×4 meshes, whose diameter is 6) fold
+// into the last bucket.
+const MaxHopBucket = 15
+
 // MeshStats aggregates NoC activity for energy accounting.
 type MeshStats struct {
 	Messages uint64
 	Bytes    uint64
 	BitMM    float64 // Σ bits × millimetres traveled (energy basis)
 	BusyNs   float64 // total link occupancy
+
+	// HopCounts[h] counts messages that traveled h hops (h clamped to
+	// MaxHopBucket) — the locality histogram behind the observability
+	// layer's mesh_hops metric.
+	HopCounts [MaxHopBucket + 1]uint64
 }
 
 // Merge folds another shard of statistics into s (plain field sums).
@@ -40,6 +50,16 @@ func (s *MeshStats) Merge(o MeshStats) {
 	s.Bytes += o.Bytes
 	s.BitMM += o.BitMM
 	s.BusyNs += o.BusyNs
+	for i, n := range o.HopCounts {
+		s.HopCounts[i] += n
+	}
+}
+
+func (s *MeshStats) countHops(hops int, n uint64) {
+	if hops > MaxHopBucket {
+		hops = MaxHopBucket
+	}
+	s.HopCounts[hops] += n
 }
 
 // NewMesh creates a w×h mesh with the paper's link parameters.
@@ -92,6 +112,7 @@ func (m *Mesh) Transfer(src, dst, size int) float64 {
 	m.stats.Messages++
 	m.stats.Bytes += uint64(size)
 	m.stats.BitMM += float64(size*8) * float64(hops) * m.HopMM
+	m.stats.countHops(hops, 1)
 	flits := (size + m.LinkBytes - 1) / m.LinkBytes
 	cycleNs := 1.0 / m.FreqGHz
 	// Head latency: hops × cyclesPerHop; body streams behind at one flit
@@ -119,6 +140,7 @@ func (m *Mesh) RecordBulk(src, dst, size int, n uint64) {
 	m.stats.Messages += n
 	m.stats.Bytes += uint64(size) * n
 	m.stats.BitMM += float64(size*8) * float64(hops) * m.HopMM * float64(n)
+	m.stats.countHops(hops, n)
 	flits := (size + m.LinkBytes - 1) / m.LinkBytes
 	cycleNs := 1.0 / m.FreqGHz
 	m.stats.BusyNs += float64(flits) * cycleNs * float64(max(hops, 1)) * float64(n)

@@ -144,6 +144,30 @@ func (n *Network) Links() []*SerDesLink {
 	return out
 }
 
+// LinkNames returns a stable human-readable name for every link, aligned
+// index-for-index with Links(): cpu_tx_<cube> (CPU→cube), cpu_rx_<cube>
+// (cube→CPU), then cube_<src>_<dst> for the direct cube pairs of
+// fully-connected topologies.
+func (n *Network) LinkNames() []string {
+	out := make([]string, 0, 2*len(n.cpuTx))
+	for i := range n.cpuTx {
+		out = append(out, fmt.Sprintf("cpu_tx_%d", i))
+	}
+	for i := range n.cpuRx {
+		out = append(out, fmt.Sprintf("cpu_rx_%d", i))
+	}
+	if n.Topology == FullyConnected {
+		for i := 0; i < n.Cubes; i++ {
+			for j := 0; j < n.Cubes; j++ {
+				if i != j {
+					out = append(out, fmt.Sprintf("cube_%d_%d", i, j))
+				}
+			}
+		}
+	}
+	return out
+}
+
 // Transfer moves size bytes between two nodes (cube index or CPUNode) and
 // returns total serialization latency across the links crossed.
 func (n *Network) Transfer(src, dst, size int) float64 {

@@ -1,0 +1,354 @@
+// Package obs is the simulator's zero-dependency observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms), a
+// simulated-time span tree, and two exporters — a machine-readable JSON
+// run manifest and Prometheus text format.
+//
+// Design constraints, in order:
+//
+//   - Determinism. Every metric recorded from simulation state must be
+//     byte-identical across host parallelism levels. The engine therefore
+//     harvests metrics from the simulation's own deterministic statistics
+//     (cache/DRAM/NoC counters, per-unit accumulators) at serial points —
+//     step and phase boundaries — rather than instrumenting concurrent
+//     hot paths. Registries are shard-mergeable (NewShard/Merge) so
+//     per-worker recording composes into one deterministic total when the
+//     shards are merged in a fixed order.
+//   - Near-zero cost when disabled. A nil *Registry is a valid "off"
+//     handle: every method on a nil Registry, Counter, Gauge or Histogram
+//     is a no-op returning nil, so instrumented code needs no branches
+//     beyond the ones the nil receivers already provide, and the hot
+//     loops allocate nothing (pinned by engine's AllocsPerRun tests and
+//     the BenchmarkObsOverhead delta budget).
+//   - Zero dependencies. Only the standard library.
+//
+// Metrics are identified by name; a Prometheus-style label set may be
+// embedded in the name with Label (`dram_row_hits{vault="3"}`). Metrics
+// are not internally synchronized: a registry (or shard) must be owned by
+// one goroutine at a time, which is exactly the worker-pool shard model.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing uint64 metric. The zero value is
+// ready to use; a nil Counter ignores all updates.
+type Counter struct{ v uint64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a float64 metric representing a current value. A nil Gauge
+// ignores all updates.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set assigns the gauge's value. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v, g.set = v, true
+}
+
+// Add adjusts the gauge by d. No-op on a nil receiver.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	g.v, g.set = g.v+d, true
+}
+
+// Value returns the gauge's current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bounds[i] is the inclusive upper
+// bound of bucket i, and one implicit overflow bucket catches everything
+// above the last bound. A nil Histogram ignores all observations.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is the overflow (+Inf) bucket
+	count  uint64
+	sum    float64
+}
+
+// Observe records one observation. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) { h.ObserveN(v, 1) }
+
+// ObserveN records n identical observations of v — equivalent to n
+// Observe(v) calls (the bulk form the engine's post-run harvesting uses).
+// No-op on a nil receiver or n == 0.
+func (h *Histogram) ObserveN(v float64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i] += n
+	h.count += n
+	h.sum += v * float64(n)
+}
+
+// Snapshot returns the histogram's current state (zero value when nil).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Registry holds named metrics. A nil *Registry is the disabled fast
+// path: Counter/Gauge/Histogram return nil handles whose methods no-op.
+type Registry struct {
+	metrics map[string]any // *Counter | *Gauge | *Histogram
+	order   []string       // registration order (stable export basis)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Counter returns (registering on first use) the named counter.
+// Returns nil — a valid no-op handle — on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if m, ok := r.metrics[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return c
+	}
+	c := &Counter{}
+	r.register(name, c)
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+// Returns nil — a valid no-op handle — on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if m, ok := r.metrics[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return g
+	}
+	g := &Gauge{}
+	r.register(name, g)
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given bucket upper bounds, which must be sorted ascending. A
+// re-registration must use identical bounds. Returns nil — a valid no-op
+// handle — on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
+	}
+	if m, ok := r.metrics[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		if !equalBounds(h.bounds, bounds) {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+		return h
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.register(name, h)
+	return h
+}
+
+func (r *Registry) register(name string, m any) {
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	return names
+}
+
+// NewShard returns an empty registry intended for single-owner recording
+// by one worker; Merge folds shards back into the parent. (Shards share
+// no state with the parent — the schema materializes on demand.)
+func (r *Registry) NewShard() *Registry {
+	if r == nil {
+		return nil
+	}
+	return NewRegistry()
+}
+
+// Merge folds the shards' metrics into r, visiting shards in argument
+// order and each shard's metrics in its registration order — so merging
+// is deterministic whenever the shard order is. Counters and histogram
+// buckets sum; gauges take the last Set value in merge order. Metrics
+// absent from r are registered. Merging a histogram into an existing one
+// with different bounds is an error. Nil shards are skipped; merging into
+// a nil registry is a no-op.
+func (r *Registry) Merge(shards ...*Registry) error {
+	if r == nil {
+		return nil
+	}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, name := range s.order {
+			switch m := s.metrics[name].(type) {
+			case *Counter:
+				r.Counter(name).Add(m.v)
+			case *Gauge:
+				if m.set {
+					r.Gauge(name).Set(m.v)
+				}
+			case *Histogram:
+				if ex, ok := r.metrics[name]; ok {
+					h, ok := ex.(*Histogram)
+					if !ok {
+						return fmt.Errorf("obs: merge: metric %q is %T in destination", name, ex)
+					}
+					if !equalBounds(h.bounds, m.bounds) {
+						return fmt.Errorf("obs: merge: histogram %q bounds differ", name)
+					}
+					for i, c := range m.counts {
+						h.counts[i] += c
+					}
+					h.count += m.count
+					h.sum += m.sum
+					continue
+				}
+				h := r.Histogram(name, m.bounds)
+				copy(h.counts, m.counts)
+				h.count, h.sum = m.count, m.sum
+			}
+		}
+	}
+	return nil
+}
+
+// HistogramSnapshot is the exported state of one histogram. Counts has
+// len(Bounds)+1 entries; the last is the overflow (+Inf) bucket.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot is the exported state of a whole registry. The maps marshal
+// with sorted keys (encoding/json), so the JSON form is deterministic.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric's current value (zero value when nil).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, name := range r.order {
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			if s.Counters == nil {
+				s.Counters = make(map[string]uint64)
+			}
+			s.Counters[name] = m.v
+		case *Gauge:
+			if s.Gauges == nil {
+				s.Gauges = make(map[string]float64)
+			}
+			s.Gauges[name] = m.v
+		case *Histogram:
+			if s.Histograms == nil {
+				s.Histograms = make(map[string]HistogramSnapshot)
+			}
+			s.Histograms[name] = m.Snapshot()
+		}
+	}
+	return s
+}
+
+// Label appends one label to a metric name in Prometheus syntax:
+// Label("dram_row_hits", "vault", "3") == `dram_row_hits{vault="3"}`,
+// and labeling an already-labeled name extends its label set.
+func Label(name, key, value string) string {
+	if strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + `,` + key + `="` + value + `"}`
+	}
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// splitName separates a possibly-labeled metric name into its family name
+// and label body: `a{b="c"}` → ("a", `b="c"`).
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every metric in r in Prometheus text exposition
+// format (version 0.0.4). Metrics are emitted in sorted-name order, with
+// one `# TYPE` line per family; histograms expand into cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. A nil registry
+// writes nothing.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	typed := make(map[string]string) // family -> emitted TYPE
+	for _, name := range r.Names() {
+		family, labels := splitName(name)
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			if err := writeType(w, typed, family, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(family, labels), m.v); err != nil {
+				return err
+			}
+		case *Gauge:
+			if err := writeType(w, typed, family, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", promName(family, labels), formatFloat(m.v)); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := writeType(w, typed, family, "histogram"); err != nil {
+				return err
+			}
+			var cum uint64
+			for i, bound := range m.bounds {
+				cum += m.counts[i]
+				le := formatFloat(bound)
+				if _, err := fmt.Fprintf(w, "%s %d\n", promName(family+"_bucket", addLabel(labels, `le="`+le+`"`)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(family+"_bucket", addLabel(labels, `le="+Inf"`)), m.count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", promName(family+"_sum", labels), formatFloat(m.sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", promName(family+"_count", labels), m.count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeType emits the `# TYPE` header the first time a family appears and
+// checks that one family isn't reused across metric kinds.
+func writeType(w io.Writer, typed map[string]string, family, kind string) error {
+	if prev, ok := typed[family]; ok {
+		if prev != kind {
+			return fmt.Errorf("obs: family %q exported as both %s and %s", family, prev, kind)
+		}
+		return nil
+	}
+	typed[family] = kind
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+	return err
+}
+
+func promName(family, labels string) string {
+	if labels == "" {
+		return family
+	}
+	return family + "{" + labels + "}"
+}
+
+func addLabel(labels, l string) string {
+	if labels == "" {
+		return l
+	}
+	return labels + "," + l
+}
+
+// formatFloat renders a float the way Prometheus clients expect: shortest
+// round-trip representation, integral values without an exponent where
+// possible.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Families returns the distinct metric family names in sorted order
+// (mostly useful for tests asserting exporter coverage).
+func (r *Registry) Families() []string {
+	if r == nil {
+		return nil
+	}
+	set := make(map[string]struct{})
+	for _, name := range r.order {
+		f, _ := splitName(name)
+		set[f] = struct{}{}
+	}
+	fams := make([]string, 0, len(set))
+	for f := range set {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	return fams
+}

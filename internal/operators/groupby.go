@@ -69,6 +69,8 @@ func GroupBy(e *engine.Engine, cfg Config, inputs []*engine.Region) (*GroupByRes
 	}
 	res := &GroupByResult{Partition: pres, PartitionNs: pres.Ns()}
 	t1 := e.TotalNs()
+	e.BeginPhase("probe")
+	defer e.EndPhase()
 
 	if cfg.SortProbe {
 		if err := groupBySortProbe(e, cm, pres.Buckets, res); err != nil {

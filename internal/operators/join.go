@@ -53,6 +53,8 @@ func Join(e *engine.Engine, cfg Config, rIn, sIn []*engine.Region) (*JoinResult,
 	res := &JoinResult{RPartition: rPart, SPartition: sPart,
 		PartitionNs: rPart.Ns() + sPart.Ns()}
 	t1 := e.TotalNs()
+	e.BeginPhase("probe")
+	defer e.EndPhase()
 
 	if cfg.SortProbe {
 		err = joinSortMergeProbe(e, cm, rPart.Buckets, sPart.Buckets, res)

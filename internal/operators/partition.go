@@ -66,6 +66,8 @@ func PartitionPhase(e *engine.Engine, cfg Config, inputs []*engine.Region, part 
 	if len(inputs) != e.NumVaults() {
 		return nil, fmt.Errorf("operators: %d input regions for %d vaults", len(inputs), e.NumVaults())
 	}
+	e.BeginPhase("partition")
+	defer e.EndPhase()
 	if e.Config().Arch == engine.CPU {
 		return cpuPartition(e, cfg, inputs, part)
 	}

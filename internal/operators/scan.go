@@ -32,6 +32,8 @@ func Scan(e *engine.Engine, cfg Config, inputs []*engine.Region, needle tuple.Ke
 
 	res := &ScanResult{}
 	t0 := e.TotalNs()
+	e.BeginPhase("probe")
+	defer e.EndPhase()
 
 	// Output regions: matches are appended locally by whoever scans the
 	// partition. Capacity is bounded by the partition size.

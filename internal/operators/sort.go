@@ -57,6 +57,8 @@ func Sort(e *engine.Engine, cfg Config, inputs []*engine.Region) (*SortResult, e
 	}
 	res := &SortResult{Partition: pres, PartitionNs: pres.Ns()}
 	t1 := e.TotalNs()
+	e.BeginPhase("probe")
+	defer e.EndPhase()
 
 	if e.Config().Arch == engine.CPU {
 		// CPU probe: quicksort per probe group (consecutive range

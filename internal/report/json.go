@@ -10,13 +10,15 @@ import (
 // JSON export of the full evaluation, for plotting pipelines and
 // regression tracking. Enum keys are rendered as their display names.
 
-// JSONTable5Row is one Table 5 row.
+// JSONTable5Row is one Table 5 row. The paper_* fields are pointers so a
+// system the paper does not report is omitted rather than rendered as a
+// published value of zero.
 type JSONTable5Row struct {
-	System        string  `json:"system"`
-	SpeedupVsCPU  float64 `json:"speedup_vs_cpu"`
-	PaperSpeedup  float64 `json:"paper_speedup"`
-	DistBWGBs     float64 `json:"dist_bw_gbs_per_vault"`
-	PaperDistBWGB float64 `json:"paper_dist_bw_gbs"`
+	System        string   `json:"system"`
+	SpeedupVsCPU  float64  `json:"speedup_vs_cpu"`
+	PaperSpeedup  *float64 `json:"paper_speedup,omitempty"`
+	DistBWGBs     float64  `json:"dist_bw_gbs_per_vault"`
+	PaperDistBWGB *float64 `json:"paper_dist_bw_gbs,omitempty"`
 }
 
 // JSONSeries is one figure series (per-operator values for one system).
@@ -62,13 +64,18 @@ func BuildJSON(su *simulate.Suite) (*JSONReport, error) {
 		return nil, err
 	}
 	for _, r := range rows {
-		rep.Table5 = append(rep.Table5, JSONTable5Row{
-			System:        r.System.String(),
-			SpeedupVsCPU:  r.SpeedupVsCPU,
-			PaperSpeedup:  PaperTable5[r.System],
-			DistBWGBs:     r.DistBWPerVaultGBs,
-			PaperDistBWGB: PaperDistBW[r.System],
-		})
+		row := JSONTable5Row{
+			System:       r.System.String(),
+			SpeedupVsCPU: r.SpeedupVsCPU,
+			DistBWGBs:    r.DistBWPerVaultGBs,
+		}
+		if v, ok := PaperTable5[r.System]; ok {
+			row.PaperSpeedup = &v
+		}
+		if v, ok := PaperDistBW[r.System]; ok {
+			row.PaperDistBWGB = &v
+		}
+		rep.Table5 = append(rep.Table5, row)
 	}
 	if s, err := su.Fig6(); err != nil {
 		return nil, err

@@ -28,15 +28,26 @@ var PaperDistBW = map[simulate.System]float64{
 	simulate.Mondrian:       4.5,
 }
 
+// paperCell formats a published value from one of the Paper* maps, or
+// "n/a" for a system the paper does not report (custom variants,
+// NMP-rand/-seq) — a zero there would read as a measured published zero.
+func paperCell(m map[simulate.System]float64, s simulate.System, format string) string {
+	v, ok := m[s]
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // WriteTable5 renders the partition-speedup table.
 func WriteTable5(w io.Writer, rows []simulate.Table5Row) {
 	fmt.Fprintln(w, "Table 5: partition-phase speedup vs CPU (Join)")
 	fmt.Fprintf(w, "  %-16s %12s %12s %14s %16s\n",
 		"System", "measured", "paper", "BW GB/s/vault", "paper BW GB/s")
 	for _, r := range rows {
-		fmt.Fprintf(w, "  %-16s %11.1fx %11.0fx %14.2f %16.1f\n",
-			r.System, r.SpeedupVsCPU, PaperTable5[r.System],
-			r.DistBWPerVaultGBs, PaperDistBW[r.System])
+		fmt.Fprintf(w, "  %-16s %11.1fx %12s %14.2f %16s\n",
+			r.System, r.SpeedupVsCPU, paperCell(PaperTable5, r.System, "%.0fx"),
+			r.DistBWPerVaultGBs, paperCell(PaperDistBW, r.System, "%.1f"))
 	}
 	fmt.Fprintln(w)
 }
@@ -59,7 +70,12 @@ func WriteFig(w io.Writer, title string, series []simulate.FigSeries) {
 	for _, op := range simulate.Operators() {
 		fmt.Fprintf(w, "  %s\n", op)
 		for _, s := range series {
-			v := s.Speedups[op]
+			v, ok := s.Speedups[op]
+			if !ok {
+				// A series without this operator is unmeasured, not 0.0×.
+				fmt.Fprintf(w, "    %-16s %9s\n", s.System, "n/a")
+				continue
+			}
 			fmt.Fprintf(w, "    %-16s %8.1fx %s\n", s.System, v, bar(v, 40))
 		}
 	}

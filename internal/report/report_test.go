@@ -23,6 +23,40 @@ func TestWriteTable5(t *testing.T) {
 	}
 }
 
+// TestWriteTable5UnpublishedSystem pins the n/a rendering: a system the
+// paper does not report must not show a published speedup of 0.
+func TestWriteTable5UnpublishedSystem(t *testing.T) {
+	rows := []simulate.Table5Row{
+		{System: simulate.NMPRand, SpeedupVsCPU: 12.3, DistBWPerVaultGBs: 0.8},
+	}
+	var b strings.Builder
+	WriteTable5(&b, rows)
+	out := b.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("unpublished system must render n/a:\n%s", out)
+	}
+	if strings.Contains(out, "0x") || strings.Contains(out, "0.0\n") {
+		t.Errorf("unpublished system rendered as a zero paper value:\n%s", out)
+	}
+}
+
+func TestWriteFigMissingOperator(t *testing.T) {
+	series := []simulate.FigSeries{
+		{System: simulate.NMP, Speedups: map[simulate.Operator]float64{
+			simulate.OpScan: 2.4, // no Sort/GroupBy/Join measurements
+		}},
+	}
+	var b strings.Builder
+	WriteFig(&b, "Figure X: test", series)
+	out := b.String()
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("missing operator must render n/a:\n%s", out)
+	}
+	if strings.Contains(out, "0.0x") {
+		t.Errorf("missing operator rendered as 0.0x:\n%s", out)
+	}
+}
+
 func TestWriteFig(t *testing.T) {
 	series := []simulate.FigSeries{
 		{System: simulate.NMPRand, Speedups: map[simulate.Operator]float64{

@@ -6,6 +6,7 @@ import (
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/energy"
 	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/operators"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 	"github.com/ecocloud-go/mondrian/internal/workload"
@@ -67,6 +68,14 @@ type Result struct {
 
 	// Steps preserves the engine's step timeline.
 	Steps []engine.StepTiming
+
+	// Phases and Spans are populated only when Params.Obs is set: the
+	// operator's phase timeline and the simulated-time span tree
+	// (run → phase → step → per-unit task / exchange). Both are built
+	// from deterministic engine state, so they are byte-identical at
+	// every Parallelism.
+	Phases []engine.PhaseTiming `json:",omitempty"`
+	Spans  *obs.Span            `json:",omitempty"`
 }
 
 // Efficiency returns performance per watt for the fixed operator work:
@@ -211,6 +220,12 @@ func run(s System, op Operator, p Params) (*Result, error) {
 	res.Energy = e.Energy(p.Energy)
 	res.DRAM = e.DRAMStats()
 	res.Steps = e.Steps()
+	if p.Obs != nil {
+		e.CollectObs(p.Obs)
+		collectEnergy(p.Obs, res.Energy)
+		res.Phases = e.Phases()
+		res.Spans = e.BuildSpans()
+	}
 	if res.ProbeNs > 0 && res.ProbeBWPerVaultGBs == 0 {
 		res.ProbeBWPerVaultGBs = probePhaseBW(res.Steps, res.PartitionNs, e.NumVaults())
 	}

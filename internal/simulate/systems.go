@@ -21,6 +21,7 @@ import (
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/energy"
 	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/operators"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
@@ -61,6 +62,11 @@ type Params struct {
 	// byte-identical either way; only wall-clock time changes.
 	// Overridable with the MONDRIAN_NO_BULK environment variable.
 	NoBulk bool
+	// Obs, when non-nil, enables the observability layer: Run collects
+	// every deterministic run statistic into this registry and populates
+	// Result.Phases/Spans. nil (the default) costs nothing. Excluded from
+	// JSON because a registry is state, not configuration.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultParams returns the paper's system shape (4 cubes × 16 vaults,
@@ -164,6 +170,7 @@ func (p Params) EngineConfig(s System) engine.Config {
 	cfg.BarrierNs = p.BarrierNs
 	cfg.Parallelism = p.Parallelism
 	cfg.NoBulk = p.NoBulk
+	cfg.Obs = p.Obs
 	if sp.HostCores {
 		cfg.CPUCores = p.CPUCores
 	}
