@@ -60,10 +60,11 @@ func main() {
 		}
 		rels = append(rels, r)
 	case "zipf":
-		if *skew <= 1.0 {
-			log.Fatalf("invalid -skew %v: Zipf requires an exponent > 1", *skew)
+		r, err := workload.Zipf("zipf", cfg, *skew)
+		if err != nil {
+			log.Fatal(err)
 		}
-		rels = append(rels, workload.Zipf("zipf", cfg, *skew))
+		rels = append(rels, r)
 	case "sequential":
 		rels = append(rels, workload.Sequential("sequential", *n))
 	default:

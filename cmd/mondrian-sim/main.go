@@ -83,6 +83,12 @@ func run() error {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		steps    = flag.Bool("steps", false, "print the per-step timeline")
 
+		// Skew knobs. -skew-aware defaults to the MONDRIAN_SKEW_AWARE
+		// environment override so the flag and variable compose.
+		skewAware = flag.Bool("skew-aware", defaults.SkewAware, "enable skew-aware execution (heavy-hitter detection, exact provisioning, hot-key splitting, work stealing)")
+		zipfS     = flag.Float64("zipf-s", 0, "Zipf exponent for skewed workload keys (0 = uniform; must be > 1 otherwise)")
+		overprov  = flag.Float64("overprovision", 0, "destination-buffer overprovision factor (0 = operator default)")
+
 		// Observability outputs. Setting any of them enables the metrics
 		// registry for the run; "-" writes to stdout.
 		metricsOut = flag.String("metrics", "", "write the JSON run manifest to `file` (\"-\" = stdout)")
@@ -119,6 +125,9 @@ func run() error {
 	p.VaultCapBytes = *vaultCap
 	p.Parallelism = *par
 	p.Seed = *seed
+	p.SkewAware = *skewAware
+	p.ZipfS = *zipfS
+	p.Overprovision = *overprov
 	if *cpuCores != 0 {
 		p.CPUCores = *cpuCores
 	}

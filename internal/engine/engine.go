@@ -75,14 +75,14 @@ type Config struct {
 	// StreamBuffers sizes each unit's stream-buffer set (0 selects the
 	// architectural default, hmc.NumStreamBuffers).
 	StreamBuffers int
-	Cubes      int
-	VaultsPer  int
-	Topology   noc.Topology
-	Geometry   dram.Geometry
-	Timing     dram.Timing
-	ObjectSize int // permutability granularity (tuple size by default)
-	L1         cache.Config
-	LLC        cache.Config // CPU only
+	Cubes         int
+	VaultsPer     int
+	Topology      noc.Topology
+	Geometry      dram.Geometry
+	Timing        dram.Timing
+	ObjectSize    int // permutability granularity (tuple size by default)
+	L1            cache.Config
+	LLC           cache.Config // CPU only
 	// BarrierNs is the fixed cost of one all-to-all MSI notification
 	// (ShuffleBegin/ShuffleEnd synchronization, §5.4).
 	BarrierNs float64
@@ -105,6 +105,17 @@ type Config struct {
 	// byte-identical at every Parallelism. nil (the default) is the
 	// near-zero-cost disabled path.
 	Obs *obs.Registry
+	// SkewAware enables deterministic work stealing in the host worker
+	// pool: weighted parallel sections (ForEachVaultWeighted /
+	// ForEachTaskWeighted) dispatch tasks heaviest-first (LPT order), so
+	// idle workers drain a straggler vault's queue instead of idling
+	// behind it. The dispatch permutation is a pure function of the task
+	// weights — independent of worker count — and parallel sections touch
+	// only index-owned state, so simulated results stay byte-identical to
+	// a skew-unaware run; only host wall-clock time and the skew_* obs
+	// metrics change. Ignored on shared-unit (host-core) specs, whose
+	// accesses are order-dependent.
+	SkewAware bool
 }
 
 // Validate checks internal consistency, including that the resolved
@@ -209,8 +220,8 @@ type RunTracer interface {
 // Engine is one configured system instance.
 type Engine struct {
 	cfg    Config
-	spec   SystemSpec   // resolved composition (spec.go)
-	path   memPath      // the units' memory-path implementation
+	spec   SystemSpec // resolved composition (spec.go)
+	path   memPath    // the units' memory-path implementation
 	Sys    *hmc.System
 	llc    *cache.Cache // shared LLC (host-core specs only)
 	mesh   *noc.Mesh    // host-side tile mesh (host-core specs only)
@@ -243,6 +254,12 @@ type Engine struct {
 	phases    []PhaseTiming
 	stepUnits [][]float64 // per-step per-unit TimeNs, aligned with steps
 	exchanges []exchangeRecord
+
+	// Skew-aware accounting (obs.go / parallel.go); all updated at serial
+	// points, so deterministic at every parallelism level.
+	stolenTasks uint64
+	splitKeys   uint64
+	skewStats   []skewStat
 }
 
 // New builds an engine from a configuration: the system spec (Config.Spec,

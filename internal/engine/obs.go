@@ -248,6 +248,44 @@ func (x *Exchange) recordObs(msgSize int) {
 	e.exchanges = append(e.exchanges, rec)
 }
 
+// skewStat is one phase's skew observation: the exact destination-load
+// spread from the histogram exchange plus the heavy-hitter count the
+// detector flagged. Recorded serially between steps.
+type skewStat struct {
+	phase    string
+	maxLoad  float64
+	meanLoad float64
+	hotKeys  int
+}
+
+// RecordSkew stores one skew observation for the currently open phase (or
+// unattributed when no phase is open / observability is disabled). Called
+// by the partition phase on skew-aware runs; the values come from the
+// exact exchanged histograms, so they are deterministic at every
+// parallelism level.
+func (e *Engine) RecordSkew(maxLoad, meanLoad float64, hotKeys int) {
+	phase := ""
+	if e.phaseOpen {
+		phase = e.curPhase.Name
+	}
+	e.skewStats = append(e.skewStats, skewStat{phase: phase, maxLoad: maxLoad, meanLoad: meanLoad, hotKeys: hotKeys})
+}
+
+// RecordSplitKeys counts hot keys whose work was split across host workers
+// with a merge-side combine (operator-layer hot-key splitting). Called at
+// serial points only.
+func (e *Engine) RecordSplitKeys(n int) {
+	e.splitKeys += uint64(n)
+}
+
+// StolenTasks returns the cumulative count of tasks dispatched out of
+// their natural order by the skew-aware worker pool — a pure function of
+// the task weights, identical at every parallelism level.
+func (e *Engine) StolenTasks() uint64 { return e.stolenTasks }
+
+// SplitKeys returns the cumulative hot-key split count.
+func (e *Engine) SplitKeys() uint64 { return e.splitKeys }
+
 // Histogram bucket bounds for CollectObs. Hop bounds cover the 4×4 mesh
 // diameter; step bounds span µs-to-ms simulated step durations.
 var (
@@ -350,6 +388,19 @@ func (e *Engine) CollectObs(reg *obs.Registry) {
 		reg.Counter(obs.Label("vault_dram_bytes", "vault", id)).Add(ds.TotalBytes())
 		if v.PermutedWrites > 0 {
 			reg.Counter(obs.Label("vault_permuted_writes", "vault", id)).Add(v.PermutedWrites)
+		}
+	}
+
+	// Skew metrics are emitted only on skew-aware runs so that manifests
+	// of skew-unaware runs are byte-for-byte unchanged by this feature.
+	if e.cfg.SkewAware {
+		reg.Counter("skew_tasks_stolen").Add(e.stolenTasks)
+		reg.Counter("skew_split_keys").Add(e.splitKeys)
+		for _, s := range e.skewStats {
+			lbl := func(name string) string { return obs.Label(name, "phase", s.phase) }
+			reg.Gauge(lbl("phase_load_max")).Set(s.maxLoad)
+			reg.Gauge(lbl("phase_load_mean")).Set(s.meanLoad)
+			reg.Gauge(lbl("phase_hot_keys")).Set(float64(s.hotKeys))
 		}
 	}
 

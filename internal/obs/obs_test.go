@@ -62,9 +62,9 @@ func TestCounterGaugeHistogramBasics(t *testing.T) {
 	}
 
 	h := r.Histogram("lat", []float64{1, 10, 100})
-	h.Observe(0.5)  // bucket 0 (<=1)
-	h.Observe(1)    // bucket 0 (inclusive upper bound)
-	h.Observe(5)    // bucket 1
+	h.Observe(0.5) // bucket 0 (<=1)
+	h.Observe(1)   // bucket 0 (inclusive upper bound)
+	h.Observe(5)   // bucket 1
 	h.ObserveN(50, 3)
 	h.Observe(1000) // overflow
 	snap := h.Snapshot()

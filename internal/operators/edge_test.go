@@ -111,7 +111,10 @@ func TestSortAutoKeySpace(t *testing.T) {
 }
 
 func TestSkewOverflowAndOverprovisionRetry(t *testing.T) {
-	skewed := workload.Zipf("z", workload.Config{Seed: 13, Tuples: 16000, KeySpace: 1 << 20}, 1.6)
+	skewed, err := workload.Zipf("z", workload.Config{Seed: 13, Tuples: 16000, KeySpace: 1 << 20}, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	v := testVariants()[5] // Mondrian
 	run := func(over float64) error {
 		e := newEngine(t, v.cfg)

@@ -41,6 +41,9 @@ type PartitionResult struct {
 	DistributeNs float64
 	// Steps are the engine step timings of the phase.
 	Steps []engine.StepTiming
+	// Skew carries the heavy-hitter detector's observations on skew-aware
+	// runs; nil otherwise. Host-side only — never feeds simulated state.
+	Skew *SkewReport
 }
 
 // Ns returns the phase's total runtime.
@@ -120,11 +123,7 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 		total += in.Len()
 	}
 	capPer := int(float64(total/nv)*cfg.overprovision()) + bucketSlack
-	dests, err := e.MallocPermutable(capPer)
-	if err != nil {
-		return nil, err
-	}
-	res := &PartitionResult{Buckets: dests}
+	res := &PartitionResult{}
 	t0 := e.TotalNs()
 
 	histInsts := cm.HistogramInsts
@@ -134,9 +133,20 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 
 	// Step 1: histogram build, every unit streaming its local partition.
 	// Per-vault histograms are 64 counters (512 B) and live on chip.
+	// Skew-aware runs additionally feed a sampled SpaceSaving sketch per
+	// source — host-side bookkeeping with no charges, each sketch owned
+	// exclusively by its source unit.
 	perSource := make([][]int64, nv)
+	var sketches []*SpaceSaving
+	stride := cfg.skewSampleStride()
+	if cfg.SkewAware {
+		sketches = make([]*SpaceSaving, nv)
+		for v := range sketches {
+			sketches[v] = NewSpaceSaving(cfg.skewSketchSize())
+		}
+	}
 	e.BeginStep(probeProfile(e, cm.HistogramProfile))
-	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
+	if err := e.ForEachVaultWeighted(stealWeights(e, inputs), func(v int, u *engine.Unit) error {
 		perSource[v] = make([]int64, nv)
 		readers, err := u.OpenStreams(inputs[v])
 		if err != nil {
@@ -150,15 +160,25 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 			for i := range ts {
 				perSource[v][part.Bucket(ts[i].Key)]++
 			}
+			if sketches != nil {
+				for i := 0; i < len(ts); i += stride {
+					sketches[v].Offer(uint64(ts[i].Key))
+				}
+			}
 			u.ChargeRun(histInsts, len(ts))
 			return nil
 		}
+		i := 0
 		for {
 			t, ok := readers[0].Next()
 			if !ok {
 				break
 			}
 			perSource[v][part.Bucket(t.Key)]++
+			if sketches != nil && i%stride == 0 {
+				sketches[v].Offer(uint64(t.Key))
+			}
+			i++
 			u.Charge(histInsts)
 		}
 		return nil
@@ -166,6 +186,48 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 		return nil, err
 	}
 	res.Steps = append(res.Steps, e.EndStep())
+
+	// The exchanged histograms give every destination's exact inbound
+	// tuple count. Skew-aware runs provision from those exact counts when
+	// the uniform estimate would overflow — replacing the §5.4 CPU
+	// overflow-retry loop with a single correctly-sized allocation. When
+	// the uniform estimate suffices (every run a skew-unaware execution
+	// would survive), capPer is untouched and the allocation is
+	// byte-identical to the skew-unaware one. MallocPermutable performs no
+	// accounting, so running it after the histogram step leaves all
+	// simulated quantities unchanged.
+	if cfg.SkewAware {
+		inbound := make([]int64, nv)
+		for _, row := range perSource {
+			for dst, n := range row {
+				inbound[dst] += n
+			}
+		}
+		maxIn := 0
+		for _, n := range inbound {
+			if int(n) > maxIn {
+				maxIn = int(n)
+			}
+		}
+		resized := false
+		if maxIn > capPer {
+			capPer = maxIn + bucketSlack
+			resized = true
+		}
+		sketch := sketches[0]
+		for _, sk := range sketches[1:] {
+			sketch.Merge(sk)
+		}
+		res.Skew = buildSkewReport(cfg, inbound, sketch, stride)
+		res.Skew.Provisioned = capPer
+		res.Skew.Resized = resized
+		e.RecordSkew(float64(res.Skew.MaxLoad), res.Skew.MeanLoad, len(res.Skew.HotKeys))
+	}
+	dests, err := e.MallocPermutable(capPer)
+	if err != nil {
+		return nil, err
+	}
+	res.Buckets = dests
 
 	// Histogram exchange + permutable-region arming.
 	if err := e.ShuffleBegin(dests, perSource); err != nil {
@@ -183,7 +245,7 @@ func nmpPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 
 	e.BeginStep(probeProfile(e, profile))
 	x := e.NewExchange(dests)
-	if err := e.ForEachVault(func(v int, u *engine.Unit) error {
+	if err := e.ForEachVaultWeighted(stealWeights(e, inputs), func(v int, u *engine.Unit) error {
 		rs, err := u.OpenStreams(inputs[v])
 		if err != nil {
 			return err
@@ -273,16 +335,29 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 	t0 := e.TotalNs()
 	hist := make([][]int64, nCores)
 	histBacking := make([]int64, nCores*part.Buckets)
+	var sketches []*SpaceSaving
+	stride := cfg.skewSampleStride()
+	if cfg.SkewAware {
+		sketches = make([]*SpaceSaving, nCores)
+		for c := range sketches {
+			sketches[c] = NewSpaceSaving(cfg.skewSketchSize())
+		}
+	}
 	histProf := cm.HistogramProfile
 	histProf.MLPOverride = cm.CPUPartitionMLP
 	e.BeginStep(histProf)
 	for c, u := range units {
 		hist[c] = histBacking[c*part.Buckets : (c+1)*part.Buckets]
+		n := 0
 		for _, in := range coreInputs[c] {
 			for i := 0; i < in.Len(); i++ {
 				t := u.LoadTuple(in, i)
 				b := part.Bucket(t.Key)
 				hist[c][b]++
+				if sketches != nil && n%stride == 0 {
+					sketches[c].Offer(uint64(t.Key))
+				}
+				n++
 				u.Charge(cm.HistogramInsts)
 				histTraffic(u, cm, histAddrs[c], part.Buckets, b)
 			}
@@ -312,20 +387,48 @@ func cpuPartition(e *engine.Engine, cfg Config, inputs []*engine.Region, part Pa
 	// The histogram gives each bucket's exact final size; carve the
 	// host-side tuple storage from one slab so the distribute loop's
 	// ensureLen appends never reallocate (host memory only — simulated
-	// region capacity is untouched).
+	// region capacity is untouched). Skew-aware runs size the sketch-side
+	// report from the same exact counts and reallocate just the
+	// overflowing buckets at their exact size instead of surfacing the
+	// §5.4 retry error; non-overflowing runs perform no extra allocation,
+	// keeping the allocation sequence byte-identical to skew-unaware.
+	counts := make([]int64, part.Buckets)
+	for b := range counts {
+		for c := 0; c < nCores; c++ {
+			counts[b] += hist[c][b]
+		}
+	}
+	if cfg.SkewAware {
+		sketch := sketches[0]
+		for _, sk := range sketches[1:] {
+			sketch.Merge(sk)
+		}
+		res.Skew = buildSkewReport(cfg, counts, sketch, stride)
+		res.Skew.Provisioned = capPer
+		e.RecordSkew(float64(res.Skew.MaxLoad), res.Skew.MeanLoad, len(res.Skew.HotKeys))
+	}
 	slab := make([]tuple.Tuple, total)
 	off := 0
 	for b, r := range buckets {
-		cnt := 0
-		for c := 0; c < nCores; c++ {
-			cnt += int(hist[c][b])
-		}
-		// The histogram exchange reveals overflowing buckets before any
-		// tuple moves: skewed datasets surface the retryable overflow error
-		// here instead of tripping the scatter's capacity invariant (§5.4).
+		cnt := int(counts[b])
 		if cnt > capPer {
-			return nil, fmt.Errorf("%w: bucket %d needs %d tuples, provisioned %d",
-				ErrPartitionOverflow, b, cnt, capPer)
+			if !cfg.SkewAware {
+				// The histogram exchange reveals overflowing buckets before
+				// any tuple moves: skewed datasets surface the retryable
+				// overflow error here instead of tripping the scatter's
+				// capacity invariant (§5.4).
+				return nil, fmt.Errorf("%w: bucket %d needs %d tuples, provisioned %d",
+					ErrPartitionOverflow, b, cnt, capPer)
+			}
+			grown, err := e.AllocOut(b%nv, cnt+bucketSlack)
+			if err != nil {
+				return nil, err
+			}
+			buckets[b], r = grown, grown
+			if cnt+bucketSlack > res.Skew.Provisioned {
+				res.Skew.Provisioned = cnt + bucketSlack
+			}
+			res.Skew.Resized = true
 		}
 		r.Tuples = slab[off : off : off+cnt]
 		off += cnt

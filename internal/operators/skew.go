@@ -1,0 +1,365 @@
+package operators
+
+// Heavy-hitter detection for the skew-aware execution path. The partition
+// phase already computes exact per-destination histograms (the §5.4
+// histogram exchange) — those drive provisioning decisions, which must be
+// exact. Identifying WHICH keys are hot needs key-granularity counts that
+// the per-destination histograms collapse away, and an exact key histogram
+// over the full key space is exactly the kind of per-tuple random-access
+// work the bulk path exists to avoid. The detector therefore runs a
+// SpaceSaving sketch (Metwally et al.) over a sampled sub-stream of the
+// keys: constant space, deterministic, and — by the SpaceSaving invariant —
+// incapable of missing a key that is genuinely heavy in the sampled stream.
+//
+// Determinism: every tie in the sketch (eviction victim, output order) is
+// broken by key value, and per-source sketches are merged in source order,
+// so the flagged set is a pure function of the input data — independent of
+// host parallelism.
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Default detector tuning, overridable through Config.
+const (
+	defaultSkewLoadFactor   = 0.5 // hot = one key ≥ half a destination's fair share
+	defaultSkewSketchSize   = 256 // tracked keys per sketch
+	defaultSkewSampleStride = 8   // sample every 8th tuple in bulk streams
+)
+
+// Hot-key splitting thresholds. Splitting restructures only the HOST
+// execution plan for a hot key's tuples — the simulated access and charge
+// sequence is preserved exactly, because the run-granular primitives
+// (NextRun, ChargeRun, AppendRunLocal) are defined to equal their
+// per-tuple expansions.
+const (
+	// splitGroupMinTuples is the minimum group size before Group-by
+	// shards a hot group's aggregation across host workers and combines
+	// the exact partial aggregates.
+	splitGroupMinTuples = 4096
+	// splitRunMinTuples is the minimum equal-key run length before the
+	// sort-merge join retires a hot key's S run as batched run
+	// operations instead of per-tuple pops.
+	splitRunMinTuples = 64
+	// splitShards is the fan-out of a sharded hot-group aggregation.
+	splitShards = 4
+)
+
+// shardedAggregate computes the six aggregates of one hot group by
+// splitting it across splitShards host workers and combining the partial
+// aggregates. Count/Sum/SumSq are wraparound uint64 adds and Min/Max are
+// semilattice joins — all associative — so the combined result is
+// bit-exact with the sequential loop regardless of shard boundaries.
+func shardedAggregate(ts []tuple.Tuple) Aggregates {
+	shards := splitShards
+	if len(ts) < shards {
+		shards = 1
+	}
+	partial := make([]Aggregates, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := len(ts)*s/shards, len(ts)*(s+1)/shards
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			a := Aggregates{Min: ^uint64(0)}
+			for i := lo; i < hi; i++ {
+				v := uint64(ts[i].Val)
+				a.Count++
+				a.Sum += v
+				a.SumSq += v * v
+				if v < a.Min {
+					a.Min = v
+				}
+				if v > a.Max {
+					a.Max = v
+				}
+			}
+			partial[s] = a
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	agg := Aggregates{Min: ^uint64(0)}
+	for _, a := range partial {
+		agg.Count += a.Count
+		agg.Sum += a.Sum
+		agg.SumSq += a.SumSq
+		if a.Min < agg.Min {
+			agg.Min = a.Min
+		}
+		if a.Max > agg.Max {
+			agg.Max = a.Max
+		}
+	}
+	return agg
+}
+
+// skewLoadFactor returns the heavy-hitter flagging threshold as a fraction
+// of the mean destination load.
+func (c Config) skewLoadFactor() float64 {
+	if c.SkewLoadFactor > 0 {
+		return c.SkewLoadFactor
+	}
+	return defaultSkewLoadFactor
+}
+
+// skewSketchSize returns the SpaceSaving capacity m.
+func (c Config) skewSketchSize() int {
+	if c.SkewSketchSize > 0 {
+		return c.SkewSketchSize
+	}
+	return defaultSkewSketchSize
+}
+
+// skewSampleStride returns the bulk-path sampling stride.
+func (c Config) skewSampleStride() int {
+	if c.SkewSampleStride > 0 {
+		return c.SkewSampleStride
+	}
+	return defaultSkewSampleStride
+}
+
+// ssEntry is one tracked key with its overestimated count.
+type ssEntry struct {
+	key uint64
+	cnt uint64
+}
+
+// SpaceSaving is a deterministic stream-summary sketch with capacity m.
+// Offer counts one key occurrence; when the sketch is full, the entry with
+// the minimum (count, key) is evicted and the newcomer inherits its count
+// plus one — the classic SpaceSaving overestimate. Invariants (for a
+// sketch fed n offers): Estimate(k) ≥ true count of k for every key, and
+// any key whose true count exceeds n/m is tracked. Ties are broken by key
+// value so the flagged set is a pure function of the offer sequence.
+//
+// Entries live in an indexed min-heap ordered by (count, key): on the
+// adversarial all-distinct stream every Offer evicts, so eviction must be
+// O(log m), not an O(m) scan — the detector taxes every partition run,
+// hot or not.
+type SpaceSaving struct {
+	m    int
+	n    uint64         // total offers
+	heap []ssEntry      // min-heap by (count, key); heap[0] is the victim
+	idx  map[uint64]int // key → heap position
+}
+
+// NewSpaceSaving returns an empty sketch tracking at most m keys. m < 1 is
+// treated as 1.
+func NewSpaceSaving(m int) *SpaceSaving {
+	if m < 1 {
+		m = 1
+	}
+	return &SpaceSaving{m: m, idx: make(map[uint64]int, m)}
+}
+
+// Len returns the number of tracked keys.
+func (s *SpaceSaving) Len() int { return len(s.heap) }
+
+// Offers returns the total number of Offer calls (the sampled stream
+// length n in the error bound n/m).
+func (s *SpaceSaving) Offers() uint64 { return s.n }
+
+// less orders heap entries by (count, key); keys are unique, so the order
+// is total and heap[0] — the eviction victim — is uniquely determined.
+func (s *SpaceSaving) less(i, j int) bool {
+	if s.heap[i].cnt != s.heap[j].cnt {
+		return s.heap[i].cnt < s.heap[j].cnt
+	}
+	return s.heap[i].key < s.heap[j].key
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.idx[s.heap[i].key] = i
+	s.idx[s.heap[j].key] = j
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			return
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && s.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && s.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
+}
+
+// push inserts a new entry (the key must not be tracked yet).
+func (s *SpaceSaving) push(e ssEntry) {
+	s.heap = append(s.heap, e)
+	s.idx[e.key] = len(s.heap) - 1
+	s.siftUp(len(s.heap) - 1)
+}
+
+// Offer counts one occurrence of key k.
+func (s *SpaceSaving) Offer(k uint64) {
+	s.n++
+	if pos, ok := s.idx[k]; ok {
+		s.heap[pos].cnt++
+		s.siftDown(pos)
+		return
+	}
+	if len(s.heap) < s.m {
+		s.push(ssEntry{key: k, cnt: 1})
+		return
+	}
+	victim := s.heap[0]
+	delete(s.idx, victim.key)
+	s.heap[0] = ssEntry{key: k, cnt: victim.cnt + 1}
+	s.idx[k] = 0
+	s.siftDown(0)
+}
+
+// Estimate returns the sketch's count upper bound for key k and whether k
+// is currently tracked. Untracked keys report the minimum tracked count —
+// still an upper bound on their true count, by the eviction rule.
+func (s *SpaceSaving) Estimate(k uint64) (uint64, bool) {
+	if pos, ok := s.idx[k]; ok {
+		return s.heap[pos].cnt, true
+	}
+	if len(s.heap) < s.m {
+		return 0, false // never evicted anything: absent means count 0
+	}
+	return s.heap[0].cnt, false
+}
+
+// Merge folds other into s, preserving the overestimate invariant: a key
+// tracked in only one sketch gets the other sketch's untracked upper bound
+// added, then the combined set is truncated back to the top m entries by
+// (count, key). The result is deterministic regardless of heap layout
+// because all ties resolve by key value.
+func (s *SpaceSaving) Merge(other *SpaceSaving) {
+	if other == nil || (other.n == 0 && other.Len() == 0) {
+		return
+	}
+	floorS, floorO := uint64(0), uint64(0)
+	if s.Len() >= s.m {
+		floorS = s.heap[0].cnt
+	}
+	if other.Len() >= other.m {
+		floorO = other.heap[0].cnt
+	}
+	merged := make(map[uint64]uint64, s.Len()+other.Len())
+	for _, e := range s.heap {
+		merged[e.key] = e.cnt + floorO
+	}
+	for _, e := range other.heap {
+		if pos, ok := s.idx[e.key]; ok {
+			merged[e.key] = s.heap[pos].cnt + e.cnt // tracked in both: sum of the two bounds
+		} else {
+			merged[e.key] = e.cnt + floorS
+		}
+	}
+	all := make([]ssEntry, 0, len(merged))
+	for k, c := range merged {
+		all = append(all, ssEntry{key: k, cnt: c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].cnt != all[j].cnt {
+			return all[i].cnt > all[j].cnt
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > s.m {
+		all = all[:s.m]
+	}
+	s.heap = s.heap[:0]
+	s.idx = make(map[uint64]int, s.m)
+	for _, e := range all {
+		s.push(e)
+	}
+	s.n += other.n
+}
+
+// HeavyHitters returns every tracked key whose estimated count reaches
+// threshold, sorted by descending count then ascending key. Because
+// estimates are upper bounds, the result is a superset of the keys whose
+// TRUE sampled count reaches threshold (no false negatives).
+func (s *SpaceSaving) HeavyHitters(threshold uint64) []uint64 {
+	var hot []ssEntry
+	for _, e := range s.heap {
+		if e.cnt >= threshold {
+			hot = append(hot, e)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].cnt != hot[j].cnt {
+			return hot[i].cnt > hot[j].cnt
+		}
+		return hot[i].key < hot[j].key
+	})
+	keys := make([]uint64, len(hot))
+	for i, e := range hot {
+		keys[i] = e.key
+	}
+	return keys
+}
+
+// SkewReport summarizes what the detector saw during one partition phase.
+// It is attached to PartitionResult only on skew-aware runs; all fields
+// are host-side observations and never feed back into simulated state, so
+// the report cannot perturb the byte-identical differential contract.
+type SkewReport struct {
+	// MaxLoad and MeanLoad are the exact per-destination tuple loads from
+	// the histogram exchange (max and arithmetic mean).
+	MaxLoad  int
+	MeanLoad float64
+	// HotKeys are the sketch-flagged heavy hitters: keys whose estimated
+	// frequency (scaled by the sampling stride) reaches SkewLoadFactor ×
+	// MeanLoad. Sorted hottest-first.
+	HotKeys []uint64
+	// Provisioned is the final per-destination buffer capacity in tuples;
+	// Resized reports whether skew-aware provisioning raised it above the
+	// uniform overprovisioned estimate (i.e. the run would have overflowed
+	// and retried without skew awareness).
+	Provisioned int
+	Resized     bool
+}
+
+// buildSkewReport assembles a SkewReport from exact destination loads and
+// the merged sample sketch. stride scales sampled counts back to stream
+// frequency estimates.
+func buildSkewReport(cfg Config, loads []int64, sketch *SpaceSaving, stride int) *SkewReport {
+	rep := &SkewReport{}
+	var total int64
+	for _, l := range loads {
+		if int(l) > rep.MaxLoad {
+			rep.MaxLoad = int(l)
+		}
+		total += l
+	}
+	if len(loads) > 0 {
+		rep.MeanLoad = float64(total) / float64(len(loads))
+	}
+	if sketch != nil && rep.MeanLoad > 0 {
+		threshold := uint64(cfg.skewLoadFactor() * rep.MeanLoad / float64(stride))
+		if threshold < 1 {
+			threshold = 1
+		}
+		rep.HotKeys = sketch.HeavyHitters(threshold)
+	}
+	return rep
+}

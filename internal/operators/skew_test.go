@@ -1,0 +1,215 @@
+package operators
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// zipfStream draws n keys from a seeded Zipf distribution — the skewed
+// streams the detector exists for.
+func zipfStream(seed int64, n int, s float64, keySpace uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, keySpace-1)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = z.Uint64()
+	}
+	return keys
+}
+
+// uniformStream draws n keys uniformly — the adversarial case for the
+// false-positive bound (no key is truly heavy).
+func uniformStream(seed int64, n int, keySpace uint64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % keySpace
+	}
+	return keys
+}
+
+// exactCounts is the reference the sketch is judged against.
+func exactCounts(keys []uint64) map[uint64]uint64 {
+	m := make(map[uint64]uint64)
+	for _, k := range keys {
+		m[k]++
+	}
+	return m
+}
+
+// TestSpaceSavingNoFalseNegatives is the detector's core property: for
+// seeded Zipf and uniform streams, every key whose TRUE count reaches the
+// threshold appears in HeavyHitters(threshold) — the sketch-flagged set
+// is a superset of the true heavy hitters. This is what makes skew-aware
+// planning safe: a hot key can be over-split (wasted host work, same
+// simulated result) but never missed.
+func TestSpaceSavingNoFalseNegatives(t *testing.T) {
+	streams := map[string][]uint64{
+		"zipf1.1":  zipfStream(1, 1<<14, 1.1, 1<<16),
+		"zipf1.5":  zipfStream(2, 1<<14, 1.5, 1<<16),
+		"zipf2.0":  zipfStream(3, 1<<14, 2.0, 1<<16),
+		"uniform":  uniformStream(4, 1<<14, 1<<10),
+		"twoHot":   append(zipfStream(5, 1<<12, 2.0, 1<<8), uniformStream(6, 1<<12, 1<<16)...),
+		"constant": make([]uint64, 1<<10), // all zero: one maximally hot key
+	}
+	for name, keys := range streams {
+		keys := keys
+		t.Run(name, func(t *testing.T) {
+			const m = 64
+			sk := NewSpaceSaving(m)
+			for _, k := range keys {
+				sk.Offer(k)
+			}
+			truth := exactCounts(keys)
+			// Any threshold above the SpaceSaving error bound n/m is
+			// guaranteed exact-superset territory; sweep several.
+			n := uint64(len(keys))
+			for _, threshold := range []uint64{n/m + 1, n / 32, n / 8, n / 2} {
+				if threshold == 0 {
+					continue
+				}
+				flagged := make(map[uint64]bool)
+				for _, k := range sk.HeavyHitters(threshold) {
+					flagged[k] = true
+				}
+				for k, c := range truth {
+					if c >= threshold && !flagged[k] {
+						t.Errorf("threshold %d: true heavy hitter %d (count %d) not flagged",
+							threshold, k, c)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceSavingEstimateUpperBound pins the overestimate invariant the
+// superset property rests on: Estimate(k) ≥ true count for every key in
+// the stream, tracked or not.
+func TestSpaceSavingEstimateUpperBound(t *testing.T) {
+	keys := zipfStream(7, 1<<13, 1.3, 1<<14)
+	sk := NewSpaceSaving(32)
+	for _, k := range keys {
+		sk.Offer(k)
+	}
+	for k, c := range exactCounts(keys) {
+		if est, _ := sk.Estimate(k); est < c {
+			t.Errorf("Estimate(%d) = %d < true count %d", k, est, c)
+		}
+	}
+	if sk.Offers() != uint64(len(keys)) {
+		t.Errorf("Offers() = %d, want %d", sk.Offers(), len(keys))
+	}
+}
+
+// TestSpaceSavingBoundedFalsePositives bounds the other direction: a
+// flagged key's true count can undershoot the threshold by at most the
+// SpaceSaving error n/m, so thresholds ≫ n/m admit only near-hot keys.
+// On a uniform stream with per-key counts far below n/m the flagged set
+// at threshold 2·n/m must therefore be empty.
+func TestSpaceSavingBoundedFalsePositives(t *testing.T) {
+	const m = 64
+	keys := zipfStream(8, 1<<14, 1.5, 1<<16)
+	sk := NewSpaceSaving(m)
+	for _, k := range keys {
+		sk.Offer(k)
+	}
+	truth := exactCounts(keys)
+	bound := uint64(len(keys)) / m
+	threshold := 4 * bound
+	for _, k := range sk.HeavyHitters(threshold) {
+		if truth[k]+bound < threshold {
+			t.Errorf("flagged key %d has true count %d < threshold %d - error bound %d",
+				k, truth[k], threshold, bound)
+		}
+	}
+
+	// Uniform keys over a space ≫ m: every true count is tiny, so a
+	// threshold of 2·n/m flags nothing.
+	uni := uniformStream(9, 1<<14, 1<<20)
+	sk2 := NewSpaceSaving(m)
+	for _, k := range uni {
+		sk2.Offer(k)
+	}
+	if hot := sk2.HeavyHitters(2 * uint64(len(uni)) / m); len(hot) != 0 {
+		t.Errorf("uniform stream flagged %d heavy hitters at 2n/m, want 0", len(hot))
+	}
+}
+
+// TestSpaceSavingMergeProperties checks the cross-source merge the NMP
+// partition path performs: the merged sketch keeps the upper-bound
+// invariant over the concatenated stream, reproduces identically across
+// repeated merges (map iteration order must not leak), and flags the true
+// heavy hitters of the combined stream.
+func TestSpaceSavingMergeProperties(t *testing.T) {
+	const m = 48
+	a := zipfStream(10, 1<<13, 1.5, 1<<15)
+	b := zipfStream(11, 1<<13, 2.0, 1<<15)
+
+	build := func() *SpaceSaving {
+		sa, sb := NewSpaceSaving(m), NewSpaceSaving(m)
+		for _, k := range a {
+			sa.Offer(k)
+		}
+		for _, k := range b {
+			sb.Offer(k)
+		}
+		sa.Merge(sb)
+		return sa
+	}
+	merged := build()
+
+	if got, want := merged.Offers(), uint64(len(a)+len(b)); got != want {
+		t.Errorf("merged Offers() = %d, want %d", got, want)
+	}
+	// Determinism: rebuilding from scratch yields the identical sketch.
+	for i := 0; i < 3; i++ {
+		if again := build(); !reflect.DeepEqual(merged, again) {
+			t.Fatalf("merge is not deterministic across rebuilds")
+		}
+	}
+	// Upper bound and superset over the combined stream.
+	truth := exactCounts(append(append([]uint64{}, a...), b...))
+	for k, c := range truth {
+		if est, _ := merged.Estimate(k); est < c {
+			t.Errorf("merged Estimate(%d) = %d < combined true count %d", k, est, c)
+		}
+	}
+	threshold := uint64(len(a)+len(b)) / 8
+	flagged := make(map[uint64]bool)
+	for _, k := range merged.HeavyHitters(threshold) {
+		flagged[k] = true
+	}
+	for k, c := range truth {
+		if c >= threshold && !flagged[k] {
+			t.Errorf("combined heavy hitter %d (count %d) lost in merge", k, c)
+		}
+	}
+}
+
+// TestSpaceSavingSmallAndEmpty exercises the degenerate shapes the
+// partition path can feed the sketch.
+func TestSpaceSavingSmallAndEmpty(t *testing.T) {
+	sk := NewSpaceSaving(0) // clamped to capacity 1
+	if est, ok := sk.Estimate(7); est != 0 || ok {
+		t.Errorf("empty sketch Estimate = %d,%v", est, ok)
+	}
+	sk.Offer(7)
+	sk.Offer(7)
+	sk.Offer(9) // evicts 7, inherits its count
+	if est, ok := sk.Estimate(9); !ok || est != 3 {
+		t.Errorf("Estimate(9) = %d,%v, want 3,true", est, ok)
+	}
+	if hot := sk.HeavyHitters(1); len(hot) != 1 || hot[0] != 9 {
+		t.Errorf("HeavyHitters(1) = %v, want [9]", hot)
+	}
+	var empty *SpaceSaving
+	full := NewSpaceSaving(4)
+	full.Offer(1)
+	full.Merge(empty)             // nil merge is a no-op
+	full.Merge(NewSpaceSaving(4)) // empty merge is a no-op
+	if full.Len() != 1 || full.Offers() != 1 {
+		t.Errorf("no-op merges changed the sketch: len=%d n=%d", full.Len(), full.Offers())
+	}
+}

@@ -91,6 +91,16 @@ func (r *Result) Efficiency() float64 {
 	return 1 / r.Energy.Total()
 }
 
+// streamInput generates the Scan/Sort input relation: uniform keys by
+// default, Zipf-distributed when Params.ZipfS is set.
+func streamInput(name string, p Params) (*tuple.Relation, error) {
+	c := workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}
+	if p.ZipfS > 0 {
+		return workload.Zipf(name, c, p.ZipfS)
+	}
+	return workload.Uniform(name, c), nil
+}
+
 // place spreads a relation evenly across the vaults.
 func place(e *engine.Engine, rel *tuple.Relation) ([]*engine.Region, error) {
 	parts := rel.SplitEven(e.NumVaults())
@@ -145,7 +155,10 @@ func run(s System, op Operator, p Params) (*Result, error) {
 
 	switch op {
 	case OpScan:
-		rel := workload.Uniform("scan-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace})
+		rel, err := streamInput("scan-in", p)
+		if err != nil {
+			return nil, err
+		}
 		needle, want := workload.ScanTarget(rel, p.Seed+1)
 		inputs, err := place(e, rel)
 		if err != nil {
@@ -161,7 +174,10 @@ func run(s System, op Operator, p Params) (*Result, error) {
 		res.ProbeBWPerVaultGBs = phaseBW(r.Steps, e.NumVaults())
 
 	case OpSort:
-		rel := workload.Uniform("sort-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace})
+		rel, err := streamInput("sort-in", p)
+		if err != nil {
+			return nil, err
+		}
 		inputs, err := place(e, rel)
 		if err != nil {
 			return nil, err
@@ -175,7 +191,16 @@ func run(s System, op Operator, p Params) (*Result, error) {
 		res.DistBWPerVaultGBs = distBW(r.Partition, e.NumVaults())
 
 	case OpGroupBy:
-		rel, err := workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)
+		// Under ZipfS the group sizes themselves are Zipf-distributed —
+		// the hot-group regime the splitting path targets. The uniform
+		// default keeps the paper's average-group-size-4 workload.
+		var rel *tuple.Relation
+		var err error
+		if p.ZipfS > 0 {
+			rel, err = workload.Zipf("groupby-in", workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.ZipfS)
+		} else {
+			rel, err = workload.GroupBy(workload.Config{Seed: p.Seed, Tuples: p.STuples, KeySpace: p.KeySpace}, p.GroupSize)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -192,7 +217,16 @@ func run(s System, op Operator, p Params) (*Result, error) {
 		res.DistBWPerVaultGBs = distBW(r.Partition, e.NumVaults())
 
 	case OpJoin:
-		rRel, sRel, err := workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		// Under ZipfS the probe relation's foreign keys are skewed: a few
+		// R tuples match most of S (the hot-run regime of the sort-merge
+		// probe's batching).
+		var rRel, sRel *tuple.Relation
+		var err error
+		if p.ZipfS > 0 {
+			rRel, sRel, err = workload.FKPairZipf(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples, p.ZipfS)
+		} else {
+			rRel, sRel, err = workload.FKPair(workload.Config{Seed: p.Seed, Tuples: p.STuples}, p.RTuples)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -62,6 +62,24 @@ type Params struct {
 	// byte-identical either way; only wall-clock time changes.
 	// Overridable with the MONDRIAN_NO_BULK environment variable.
 	NoBulk bool
+	// SkewAware enables the skew-aware execution path: heavy-hitter
+	// detection during the partition phase, exact-histogram destination
+	// provisioning (replacing overflow-and-retry), hot-key splitting in
+	// the Group-by/Join probes, and deterministic work stealing in the
+	// engine's dispatch. On inputs where the default path succeeds,
+	// report JSON is byte-identical with the flag on or off — only host
+	// wall-clock time and the skew_* observability metrics differ.
+	// Overridable with the MONDRIAN_SKEW_AWARE environment variable.
+	SkewAware bool
+	// ZipfS selects skewed workloads: 0 (the default) keeps the uniform
+	// generators; a finite exponent > 1 draws the Scan/Sort/Group-by
+	// input keys (and the Join probe relation's foreign keys) from a
+	// Zipf distribution with that exponent.
+	ZipfS float64
+	// Overprovision scales the partition phase's destination-buffer
+	// estimate (0 = the operator default of 2×). Skewed workloads need
+	// more; skew-aware runs provision exactly and ignore the shortfall.
+	Overprovision float64
 	// Obs, when non-nil, enables the observability layer: Run collects
 	// every deterministic run statistic into this registry and populates
 	// Result.Phases/Spans. nil (the default) costs nothing. Excluded from
@@ -75,6 +93,7 @@ func DefaultParams() Params {
 	return Params{
 		Parallelism:   envParallelism(),
 		NoBulk:        envNoBulk(),
+		SkewAware:     envSkewAware(),
 		Cubes:         4,
 		VaultsPer:     16,
 		CPUCores:      16,
@@ -145,6 +164,23 @@ func envNoBulk() bool {
 	return b
 }
 
+// envSkewAware reads the MONDRIAN_SKEW_AWARE override. Boolean spellings
+// parse as usual; anything else non-empty means "set" (skew-aware path
+// enabled) but is reported with a one-line warning naming the variable
+// and value.
+func envSkewAware() bool {
+	v := os.Getenv("MONDRIAN_SKEW_AWARE")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		fmt.Fprintf(envWarnOut, "mondrian: MONDRIAN_SKEW_AWARE=%q is not a boolean; treating as set (skew-aware execution enabled)\n", v)
+		return true
+	}
+	return b
+}
+
 // geometry derives the per-vault DRAM geometry.
 func (p Params) geometry() dram.Geometry {
 	g := dram.HMCGeometry()
@@ -170,6 +206,7 @@ func (p Params) EngineConfig(s System) engine.Config {
 	cfg.BarrierNs = p.BarrierNs
 	cfg.Parallelism = p.Parallelism
 	cfg.NoBulk = p.NoBulk
+	cfg.SkewAware = p.SkewAware
 	cfg.Obs = p.Obs
 	if sp.HostCores {
 		cfg.CPUCores = p.CPUCores
@@ -183,7 +220,8 @@ func (p Params) EngineConfig(s System) engine.Config {
 // (§6).
 func (p Params) OperatorConfig(s System) operators.Config {
 	cfg := operators.Config{Costs: operators.DefaultCosts(), KeySpace: p.KeySpace,
-		CPUBuckets: p.CPUBuckets}
+		CPUBuckets: p.CPUBuckets, SkewAware: p.SkewAware,
+		Overprovision: p.Overprovision}
 	if sp, ok := SpecOf(s); ok {
 		if sp.MondrianCosts {
 			cfg.Costs = operators.MondrianCosts()

@@ -115,6 +115,12 @@ func (p Params) Validate() error {
 	if math.IsNaN(p.BarrierNs) || math.IsInf(p.BarrierNs, 0) || p.BarrierNs < 0 {
 		return &ParamError{"BarrierNs", p.BarrierNs, "want a finite non-negative barrier cost"}
 	}
+	if p.ZipfS != 0 && (math.IsNaN(p.ZipfS) || math.IsInf(p.ZipfS, 0) || p.ZipfS <= 1) {
+		return &ParamError{"ZipfS", p.ZipfS, "want 0 (uniform keys) or a finite Zipf exponent > 1"}
+	}
+	if p.Overprovision != 0 && (math.IsNaN(p.Overprovision) || math.IsInf(p.Overprovision, 0) || p.Overprovision < 1) {
+		return &ParamError{"Overprovision", p.Overprovision, "want 0 (operator default) or a finite factor of at least 1"}
+	}
 	for _, c := range []struct {
 		name string
 		v    float64

@@ -11,6 +11,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"github.com/ecocloud-go/mondrian/internal/tuple"
@@ -120,13 +121,27 @@ func ScanTarget(r *tuple.Relation, seed int64) (needle tuple.Key, count int) {
 	return needle, count
 }
 
+// checkZipfExponent validates a caller-supplied Zipf exponent. rand.NewZipf
+// requires s > 1; NaN and infinities are rejected explicitly because they
+// slip past the comparison.
+func checkZipfExponent(s float64) error {
+	if math.IsNaN(s) || math.IsInf(s, 0) || s <= 1.0 {
+		return fmt.Errorf("workload: Zipf requires a finite exponent s > 1, got %v", s)
+	}
+	return nil
+}
+
 // Zipf generates a relation with Zipfian-skewed keys. This exercises the
 // skewed-partition behaviour the paper defers to future work (§5.4); the
 // engine raises an overflow exception for the CPU to handle when a
-// destination buffer would overflow.
-func Zipf(name string, c Config, s float64) *tuple.Relation {
-	if s <= 1.0 {
-		panic("workload: Zipf requires s > 1")
+// destination buffer would overflow. The exponent is a caller input, not
+// an invariant: s outside (1, +Inf) returns an error rather than panicking.
+func Zipf(name string, c Config, s float64) (*tuple.Relation, error) {
+	if err := checkZipfExponent(s); err != nil {
+		return nil, err
+	}
+	if c.Tuples < 0 {
+		return nil, fmt.Errorf("workload: Zipf requires Tuples >= 0, got %d", c.Tuples)
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 	ks := c.keySpace()
@@ -135,7 +150,39 @@ func Zipf(name string, c Config, s float64) *tuple.Relation {
 	for i := 0; i < c.Tuples; i++ {
 		r.Append1(tuple.Tuple{Key: tuple.Key(z.Uint64()), Val: tuple.Value(rng.Uint64())})
 	}
-	return r
+	return r, nil
+}
+
+// FKPairZipf generates a foreign-key pair like FKPair, but S references R
+// keys with Zipfian frequency: a few hot R rows receive most of the S
+// tuples, the join-skew shape JSPIM studies. R's keys remain a random
+// permutation of [0, rTuples), so every S tuple still joins with exactly
+// one R tuple.
+func FKPairZipf(c Config, rTuples int, skew float64) (r, s *tuple.Relation, err error) {
+	if err := checkZipfExponent(skew); err != nil {
+		return nil, nil, err
+	}
+	if rTuples <= 0 {
+		return nil, nil, fmt.Errorf("workload: FKPairZipf requires rTuples > 0, got %d", rTuples)
+	}
+	if c.Tuples < 0 {
+		return nil, nil, fmt.Errorf("workload: FKPairZipf requires Tuples >= 0, got %d", c.Tuples)
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	r = tuple.NewRelation("R", rTuples)
+	perm := rng.Perm(rTuples)
+	for i := 0; i < rTuples; i++ {
+		r.Append1(tuple.Tuple{Key: tuple.Key(perm[i]), Val: tuple.Value(rng.Uint64())})
+	}
+	z := rand.NewZipf(rng, skew, 1, uint64(rTuples-1))
+	s = tuple.NewRelation("S", c.Tuples)
+	for i := 0; i < c.Tuples; i++ {
+		s.Append1(tuple.Tuple{
+			Key: tuple.Key(z.Uint64()),
+			Val: tuple.Value(rng.Uint64()),
+		})
+	}
+	return r, s, nil
 }
 
 // Sequential generates a relation with strictly increasing keys 0..n-1;

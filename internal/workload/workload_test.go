@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -120,7 +121,10 @@ func TestScanTargetEmpty(t *testing.T) {
 }
 
 func TestZipfSkewed(t *testing.T) {
-	r := Zipf("z", Config{Seed: 7, Tuples: 20000, KeySpace: 1 << 20}, 1.3)
+	r, err := Zipf("z", Config{Seed: 7, Tuples: 20000, KeySpace: 1 << 20}, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := make(map[tuple.Key]int)
 	for _, tp := range r.Tuples {
 		counts[tp.Key]++
@@ -184,13 +188,64 @@ func TestFKPairProperty(t *testing.T) {
 	}
 }
 
+// Caller-supplied exponents are inputs, not invariants: Zipf returns an
+// error for s outside (1, +Inf) instead of panicking (DESIGN.md §10).
 func TestZipfPanicsOnBadExponent(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Zipf with s <= 1 did not panic")
+	for _, s := range []float64{1.0, 0.5, -2, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Zipf("z", Config{Seed: 1, Tuples: 10, KeySpace: 100}, s); err == nil {
+			t.Fatalf("Zipf with s=%v did not error", s)
 		}
-	}()
-	Zipf("z", Config{Seed: 1, Tuples: 10, KeySpace: 100}, 1.0)
+	}
+	if _, err := Zipf("z", Config{Seed: 1, Tuples: -1, KeySpace: 100}, 1.5); err == nil {
+		t.Fatal("Zipf with Tuples=-1 did not error")
+	}
+}
+
+func TestFKPairZipf(t *testing.T) {
+	r, s, err := FKPairZipf(Config{Seed: 21, Tuples: 20000}, 512, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 512 || s.Len() != 20000 {
+		t.Fatalf("sizes: |R|=%d |S|=%d", r.Len(), s.Len())
+	}
+	keys := make(map[tuple.Key]bool, r.Len())
+	for _, tp := range r.Tuples {
+		if keys[tp.Key] {
+			t.Fatalf("duplicate R key %d", tp.Key)
+		}
+		keys[tp.Key] = true
+	}
+	counts := make(map[tuple.Key]int)
+	for _, tp := range s.Tuples {
+		if !keys[tp.Key] {
+			t.Fatalf("S key %d has no R match", tp.Key)
+		}
+		counts[tp.Key]++
+	}
+	// The reference skew must be visible: the hottest R row gets far more
+	// than its uniform share of S references.
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if uniform := s.Len() / 512; hottest < 4*uniform {
+		t.Fatalf("FKPairZipf not skewed: hottest row has %d refs (uniform share %d)", hottest, uniform)
+	}
+}
+
+func TestFKPairZipfRejectsBadInputs(t *testing.T) {
+	if _, _, err := FKPairZipf(Config{Seed: 1, Tuples: 10}, 8, 1.0); err == nil {
+		t.Fatal("FKPairZipf with s=1.0 did not error")
+	}
+	if _, _, err := FKPairZipf(Config{Seed: 1, Tuples: 10}, 0, 1.5); err == nil {
+		t.Fatal("FKPairZipf with rTuples=0 did not error")
+	}
+	if _, _, err := FKPairZipf(Config{Seed: 1, Tuples: -1}, 8, 1.5); err == nil {
+		t.Fatal("FKPairZipf with Tuples=-1 did not error")
+	}
 }
 
 func TestDefaultKeySpace(t *testing.T) {

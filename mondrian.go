@@ -78,9 +78,17 @@ func GroupByRelation(c WorkloadConfig, avgGroupSize int) (*Relation, error) {
 	return workload.GroupBy(c, avgGroupSize)
 }
 
-// ZipfRelation generates a skewed relation (s > 1), for the skew study.
-func ZipfRelation(name string, c WorkloadConfig, s float64) *Relation {
+// ZipfRelation generates a skewed relation, for the skew study. Exponents
+// outside (1, +Inf) return an error.
+func ZipfRelation(name string, c WorkloadConfig, s float64) (*Relation, error) {
 	return workload.Zipf(name, c, s)
+}
+
+// FKZipfRelations generates a primary-key relation R and a foreign-key
+// relation S whose references to R are Zipf-skewed with the given
+// exponent, for skewed Join experiments.
+func FKZipfRelations(c WorkloadConfig, rTuples int, s float64) (r, sRel *Relation, err error) {
+	return workload.FKPairZipf(c, rTuples, s)
 }
 
 // ScanNeedle picks a key guaranteed to occur in r and its frequency.
@@ -146,6 +154,9 @@ type (
 	GroupByResult = operators.GroupByResult
 	// JoinResult reports a Join run.
 	JoinResult = operators.JoinResult
+	// SkewReport summarizes the heavy-hitter detector's observations for
+	// a skew-aware partition phase (PartitionResult.Skew).
+	SkewReport = operators.SkewReport
 )
 
 // Scan searches every partition for tuples with the needle key.
@@ -300,6 +311,9 @@ const (
 	SystemMondrianNoPerm = simulate.MondrianNoPerm
 	SystemMondrian       = simulate.Mondrian
 )
+
+// Systems lists every registered system in registration order.
+func Systems() []System { return simulate.Systems() }
 
 // Operator identifies one of the four basic data operators.
 type Operator = simulate.Operator

@@ -57,7 +57,10 @@ func TestPublicEngineAndOperators(t *testing.T) {
 
 func TestPublicOverflowRetry(t *testing.T) {
 	p := mondrian.TestParams()
-	skewed := mondrian.ZipfRelation("z", mondrian.WorkloadConfig{Seed: 2, Tuples: 8000, KeySpace: 1 << 20}, 1.6)
+	skewed, err := mondrian.ZipfRelation("z", mondrian.WorkloadConfig{Seed: 2, Tuples: 8000, KeySpace: 1 << 20}, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	run := func(over float64) error {
 		e, err := mondrian.NewEngine(p.EngineConfig(mondrian.SystemMondrian))
 		if err != nil {
@@ -68,7 +71,7 @@ func TestPublicOverflowRetry(t *testing.T) {
 		_, err = mondrian.GroupBy(e, cfg, place(t, e, skewed))
 		return err
 	}
-	err := run(2)
+	err = run(2)
 	if !errors.Is(err, mondrian.ErrPartitionOverflow) {
 		t.Fatalf("skewed run error = %v, want overflow", err)
 	}
