@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench-smoke bench-baseline bench-guard staticcheck ci
+.PHONY: build test vet race fuzz bench bench-smoke bench-baseline bench-guard bench-compare staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -38,14 +38,15 @@ fuzz:
 	$(GO) test -fuzz=FuzzRadixRoundTrip -fuzztime=10s ./internal/operators/
 	$(GO) test -run='^$$' -fuzz=FuzzRunNoPanic -fuzztime=15s ./internal/simulate/
 
-# Operator benchmarks (bulk fast path vs per-tuple reference), converted
-# to a benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
+# Operator benchmarks (bulk fast path vs columnar kernels vs per-tuple
+# reference) plus the host worker-pool scaling sweep, converted to a
+# benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
 # reconstructs plain `go test -bench` output for benchstat. The second
 # step regenerates BENCH_PR5.json: one compact run manifest per
 # System × Operator through the observability exporter, the structured
 # per-run counter trajectory the BENCH_* files track across PRs.
 bench:
-	$(GO) test -bench=BenchmarkOp -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -bench='BenchmarkOp|BenchmarkEngineParallel' -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 	@echo wrote BENCH_PR2.json
 	rm -f BENCH_PR5.json
 	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
@@ -58,17 +59,32 @@ bench-smoke:
 	rm -f BENCH_PR5.json
 	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
 
-# Re-record the disabled-metrics overhead baseline (run on the reference
-# machine; benchguard skips when the CPU model differs).
+# Re-record the benchmark baseline (run on the reference machine;
+# benchguard skips when the CPU model differs): the disabled-metrics
+# overhead benchmark plus the columnar kernel microbenchmarks.
 bench-baseline:
-	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
+	( $(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . ; \
+	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
+	  | $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
 
-# Fail if the nil-registry (observability disabled) path got >5% slower
-# than the recorded baseline. Guard output stays out of the repo.
+# Fail if the nil-registry (observability disabled) path got >5% slower,
+# or any columnar kernel got >10% slower, than the recorded baseline.
+# Guard output stays out of the repo.
 bench-guard:
 	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_obs_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_obs_current.json
+	$(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple | $(GO) run ./cmd/benchjson > /tmp/bench_cols_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_cols_current.json -match '^BenchmarkColumnarKernel' -threshold 0.10
+
+# Print baseline-vs-current per-op ratios for every guarded benchmark
+# (no failure thresholds — a human-readable drift report).
+bench-compare:
+	( $(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . ; \
+	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
+	  | $(GO) run ./cmd/benchjson > /tmp/bench_compare_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_compare_current.json \
+	  -match '^Benchmark(ObsOverhead|ColumnarKernel)' -report
 
 # ci mirrors .github/workflows/ci.yml: tier-1 build+vet+test, then the race pass.
 ci: test vet race

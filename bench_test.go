@@ -10,6 +10,7 @@ package mondrian
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/ecocloud-go/mondrian/internal/dram"
@@ -32,26 +33,28 @@ func benchParams() simulate.Params {
 }
 
 // benchOp measures the host wall-clock of one operator simulation per
-// system, once with the run-based bulk fast path ("bulk", the default)
-// and once forcing the per-tuple reference loops ("reference").
-// Simulated results are byte-identical between the two modes
-// (TestBulkDifferential pins that); only host time differs, so the
-// bulk/reference ratio is the fast path's speedup. Workload generation,
+// system in three modes: the run-based bulk fast path ("bulk", the
+// default), the columnar structure-of-arrays kernels ("columnar"), and
+// the per-tuple reference loops ("reference"). Simulated results are
+// byte-identical across all three (TestBulkDifferential and
+// TestColumnarEquivalence pin that); only host time differs, so the
+// mode ratios are the fast paths' speedups. Workload generation,
 // engine construction, placement, and output verification run outside
 // the timer — the benchmark isolates the simulation loop itself, which
-// is what the fast path accelerates.
+// is what the fast paths accelerate.
 func benchOp(b *testing.B, op simulate.Operator) {
 	systems := []simulate.System{
 		simulate.CPU, simulate.NMP, simulate.NMPSeq, simulate.Mondrian,
 	}
 	for _, mode := range []struct {
-		name   string
-		noBulk bool
-	}{{"bulk", false}, {"reference", true}} {
+		name             string
+		noBulk, columnar bool
+	}{{"bulk", false, false}, {"columnar", false, true}, {"reference", true, false}} {
 		for _, s := range systems {
 			b.Run(mode.name+"/"+s.String(), func(b *testing.B) {
 				p := benchParams()
 				p.NoBulk = mode.noBulk
+				p.Columnar = mode.columnar
 				benchOperatorOnly(b, s, op, p)
 			})
 		}
@@ -502,7 +505,11 @@ func BenchmarkAblationSortAlgorithm(b *testing.B) {
 // (GOMAXPROCS): on a single-core host all settings time-share one CPU and
 // the curve is flat. EXPERIMENTS.md records the measured curve.
 func BenchmarkEngineParallel(b *testing.B) {
-	for _, par := range []int{1, 2, 4, 8} {
+	settings := []int{1, 2, 4}
+	if gmp := runtime.GOMAXPROCS(0); gmp != 1 && gmp != 2 && gmp != 4 {
+		settings = append(settings, gmp)
+	}
+	for _, par := range settings {
 		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
 			p := benchParams()
 			p.Parallelism = par

@@ -51,6 +51,7 @@ func main() {
 		curPath   = flag.String("current", "", "fresh snapshot to check (benchjson format)")
 		match     = flag.String("match", `^BenchmarkObsOverhead/disabled`, "regexp selecting the benchmarks to guard")
 		threshold = flag.Float64("threshold", 0.05, "max allowed fractional ns/op regression")
+		report    = flag.Bool("report", false, "print baseline-vs-current per-op ratios for every matched benchmark and exit 0 (no guard)")
 	)
 	flag.Parse()
 	if *curPath == "" {
@@ -91,6 +92,12 @@ func main() {
 		}
 		checked++
 		ratio := r.NsPerOp / want
+		if *report {
+			// old/new > 1 means the current run is faster than baseline.
+			fmt.Printf("benchguard: %-44s baseline %12.0f ns/op -> current %12.0f ns/op (old/new %.2fx)\n",
+				r.Name, want, r.NsPerOp, want/r.NsPerOp)
+			continue
+		}
 		status := "ok"
 		if ratio > 1+*threshold {
 			status = "FAIL"

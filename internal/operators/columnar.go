@@ -1,0 +1,75 @@
+package operators
+
+import (
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+)
+
+// Columnar partition kernels (ISSUE 7). bucketIDs batch-computes every
+// key's destination bucket over the dense key column, replacing the
+// per-tuple Partitioner.Bucket mul/div (range partitioning) or runtime
+// modulo (hash partitioning) with shift/mask loops whenever the
+// geometry is a power of two. The operator computes the ids once per
+// input region and reuses them across the histogram and scatter passes,
+// where the scalar path recomputes Bucket per tuple per pass.
+//
+// Exactness contract: ids[i] == part.Bucket(keys[i]) for every key,
+// including keys at or beyond KeySpace (the fast path delegates any
+// out-of-range key to the scalar Bucket, clamping and overflow wrap
+// included). TestBucketIDsMatchesScalar pins it.
+
+// bucketIDs fills ids[i] with part.Bucket(keys[i]); ids must have
+// length len(keys).
+func bucketIDs(ids []int32, keys []tuple.Key, part Partitioner) {
+	if len(ids) != len(keys) {
+		panic("operators: bucketIDs length mismatch")
+	}
+	b := uint64(part.Buckets)
+	if part.HighBits {
+		// Range partitioning: k*B/KS. With both powers of two (and the
+		// product overflow-free, which log2 KS + log2 B <= 64
+		// guarantees for every k < KS) the division is a plain shift.
+		if isPow2u(b) && isPow2u(part.KeySpace) && part.KeySpace >= b &&
+			log2u(part.KeySpace)+log2u(b) <= 64 {
+			shift := log2u(part.KeySpace) - log2u(b)
+			for i, k := range keys {
+				v := uint64(k) >> shift
+				if v >= b {
+					// Key outside the declared key space: defer to the
+					// scalar path's exact clamped (and possibly
+					// overflow-wrapped) arithmetic.
+					v = uint64(part.Bucket(k))
+				}
+				ids[i] = int32(v)
+			}
+			return
+		}
+		for i, k := range keys {
+			ids[i] = int32(part.Bucket(k))
+		}
+		return
+	}
+	// Hash partitioning: k mod B.
+	if isPow2u(b) {
+		mask := tuple.Key(b - 1)
+		for i, k := range keys {
+			ids[i] = int32(k & mask)
+		}
+		return
+	}
+	for i, k := range keys {
+		ids[i] = int32(uint64(k) % b)
+	}
+}
+
+// isPow2u reports whether v is a power of two.
+func isPow2u(v uint64) bool { return v != 0 && v&(v-1) == 0 }
+
+// log2u returns floor(log2 v) for v > 0.
+func log2u(v uint64) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}

@@ -1,0 +1,228 @@
+package operators
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/engine"
+	"github.com/ecocloud-go/mondrian/internal/tuple"
+	"github.com/ecocloud-go/mondrian/internal/workload"
+)
+
+// TestBucketIDsMatchesScalar pins the bucketIDs exactness contract:
+// ids[i] == part.Bucket(keys[i]) for every key — across pow2 and
+// non-pow2 geometries (exercising the shift, mask and fallback paths)
+// and for keys far outside the declared key space (exercising the
+// clamped, overflow-wrapped scalar delegation).
+func TestBucketIDsMatchesScalar(t *testing.T) {
+	parts := []Partitioner{
+		// Range, both pow2: shift fast path.
+		{Buckets: 8, KeySpace: 1 << 16, HighBits: true},
+		{Buckets: 256, KeySpace: 1 << 16, HighBits: true},
+		{Buckets: 1 << 20, KeySpace: 1 << 40, HighBits: true},
+		{Buckets: 16, KeySpace: 16, HighBits: true},
+		// Range, log2(KS)+log2(B) > 64: scalar fallback.
+		{Buckets: 1 << 20, KeySpace: 1 << 50, HighBits: true},
+		// Range, non-pow2 bucket count or key space: scalar fallback.
+		{Buckets: 7, KeySpace: 1 << 16, HighBits: true},
+		{Buckets: 8, KeySpace: 100000, HighBits: true},
+		// Range, KS < B: scalar fallback.
+		{Buckets: 256, KeySpace: 16, HighBits: true},
+		// Hash, pow2: mask fast path; non-pow2: modulo.
+		{Buckets: 8},
+		{Buckets: 256},
+		{Buckets: 7},
+		{Buckets: 1000},
+	}
+	rng := rand.New(rand.NewSource(77))
+	for _, part := range parts {
+		keys := make([]tuple.Key, 0, 4096)
+		ks := part.KeySpace
+		if ks == 0 {
+			ks = 1 << 16
+		}
+		for i := 0; i < 2000; i++ {
+			keys = append(keys, tuple.Key(rng.Uint64()%ks))
+		}
+		// Out-of-range and adversarial keys: beyond KeySpace, full-width
+		// random (overflow wrap in the scalar mul), and the extremes.
+		for i := 0; i < 1000; i++ {
+			keys = append(keys, tuple.Key(rng.Uint64()%(2*ks)))
+			keys = append(keys, tuple.Key(rng.Uint64()))
+		}
+		keys = append(keys, 0, tuple.Key(ks-1), tuple.Key(ks), tuple.Key(ks+1),
+			^tuple.Key(0), ^tuple.Key(0)>>1)
+		ids := make([]int32, len(keys))
+		bucketIDs(ids, keys, part)
+		for i, k := range keys {
+			if want := part.Bucket(k); int(ids[i]) != want {
+				t.Fatalf("part %+v key %d: ids[%d] = %d, want %d",
+					part, k, i, ids[i], want)
+			}
+		}
+	}
+}
+
+// TestColumnarMatchesBulkTiming runs every operator on every variant
+// twice — bulk and columnar — and requires identical simulated time and
+// identical functional results. This is the operators-level half of the
+// differential pin; the simulate package pins full byte-identical
+// report JSON.
+func TestColumnarMatchesBulkTiming(t *testing.T) {
+	scanRel := workload.Uniform("in", workload.Config{Seed: 3, Tuples: 4000, KeySpace: 500})
+	needle, _ := workload.ScanTarget(scanRel, 7)
+	sortRel := workload.Uniform("in", workload.Config{Seed: 5, Tuples: 6000, KeySpace: 1 << 16})
+	gbRel, err := workload.GroupBy(workload.Config{Seed: 9, Tuples: 4000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinR, joinS, err := workload.FKPair(workload.Config{Seed: 11, Tuples: 6000}, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type opRun struct {
+		name string
+		run  func(e *engine.Engine, cfg Config) (float64, int, []*engine.Region, error)
+	}
+	ops := []opRun{
+		{"scan", func(e *engine.Engine, cfg Config) (float64, int, []*engine.Region, error) {
+			res, err := Scan(e, cfg, place(t, e, scanRel), needle)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			return e.TotalNs(), res.Matches, res.Out, nil
+		}},
+		{"sort", func(e *engine.Engine, cfg Config) (float64, int, []*engine.Region, error) {
+			res, err := Sort(e, cfg, place(t, e, sortRel))
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			return e.TotalNs(), 0, res.Sorted, nil
+		}},
+		{"groupby", func(e *engine.Engine, cfg Config) (float64, int, []*engine.Region, error) {
+			res, err := GroupBy(e, cfg, place(t, e, gbRel))
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			return e.TotalNs(), res.Groups, res.Out, nil
+		}},
+		{"join", func(e *engine.Engine, cfg Config) (float64, int, []*engine.Region, error) {
+			res, err := Join(e, cfg, place(t, e, joinR), place(t, e, joinS))
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			return e.TotalNs(), res.Matches, res.Out, nil
+		}},
+	}
+	for _, v := range testVariants() {
+		for _, skew := range []bool{false, true} {
+			for _, op := range ops {
+				name := v.name + "/" + op.name
+				if skew {
+					name += "/skew"
+				}
+				t.Run(name, func(t *testing.T) {
+					bulkCfg := v.cfg
+					bulkCfg.SkewAware = skew
+					colCfg := bulkCfg
+					colCfg.Columnar = true
+
+					ns0, count0, out0, err := op.run(newEngine(t, bulkCfg), v.opCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ns1, count1, out1, err := op.run(newEngine(t, colCfg), v.opCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ns0 != ns1 {
+						t.Fatalf("simulated time diverged: bulk %v ns, columnar %v ns", ns0, ns1)
+					}
+					if count0 != count1 {
+						t.Fatalf("result count diverged: bulk %d, columnar %d", count0, count1)
+					}
+					if !tuple.SameMultiset(Gather(out0), Gather(out1)) {
+						t.Fatal("output multiset diverged")
+					}
+				})
+			}
+		}
+	}
+}
+
+// columnarUnit builds a Columnar engine from the given variant, places
+// rel in vault 0 and returns the engine, region and owning unit.
+func columnarUnit(t *testing.T, v variant, rel *tuple.Relation) (*engine.Engine, *engine.Region, *engine.Unit) {
+	t.Helper()
+	cfg := v.cfg
+	cfg.Columnar = true
+	e := newEngine(t, cfg)
+	r, err := e.Place(0, rel.Tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, r, unitForBucket(e, 0)
+}
+
+// The steady-state allocation pins. A full operator run necessarily
+// allocates (fresh output regions, result structs, goroutine fan-out),
+// so the pins target the per-bucket hot kernels — the code that runs
+// once per bucket per pass and dominates the host time. After one
+// warm-up call grows the unit's arena, stream group and region slabs,
+// every subsequent call must perform zero heap allocations.
+
+func TestScanKernelSteadyStateZeroAlloc(t *testing.T) {
+	rel := workload.Uniform("in", workload.Config{Seed: 21, Tuples: 4000, KeySpace: 500})
+	e, r, u := columnarUnit(t, testVariants()[5], rel) // Mondrian
+	out, err := e.AllocOut(0, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	needle, _ := workload.ScanTarget(rel, 7)
+	e.BeginStep(engine.StepProfile{Name: "scan", StreamFed: true})
+	defer e.EndStep()
+	kernel := func() {
+		out.Reset()
+		if _, err := scanVaultColumnar(u, r, out, needle, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kernel() // warm up arena, stream group, key mirror and out slab
+	if allocs := testing.AllocsPerRun(20, kernel); allocs != 0 {
+		t.Fatalf("scan kernel steady state allocates %v times per run", allocs)
+	}
+}
+
+func TestQuicksortKernelSteadyStateZeroAlloc(t *testing.T) {
+	rel := workload.Uniform("in", workload.Config{Seed: 23, Tuples: 4000, KeySpace: 1 << 16})
+	e, r, u := columnarUnit(t, testVariants()[0], rel) // CPU
+	cm := DefaultCosts()
+	e.BeginStep(engine.StepProfile{Name: "sort"})
+	defer e.EndStep()
+	kernel := func() { quicksortLocal(u, cm, r) }
+	kernel()
+	if allocs := testing.AllocsPerRun(20, kernel); allocs != 0 {
+		t.Fatalf("quicksort kernel steady state allocates %v times per run", allocs)
+	}
+}
+
+func TestMergesortKernelSteadyStateZeroAlloc(t *testing.T) {
+	rel := workload.Uniform("in", workload.Config{Seed: 25, Tuples: 4096, KeySpace: 1 << 16})
+	e, r, u := columnarUnit(t, testVariants()[5], rel) // Mondrian (streamed)
+	scratch, err := e.AllocOut(0, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := MondrianCosts()
+	e.BeginStep(engine.StepProfile{Name: "sort", StreamFed: true})
+	defer e.EndStep()
+	kernel := func() {
+		if _, err := mergesortLocal(u, cm, r, scratch, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kernel()
+	if allocs := testing.AllocsPerRun(10, kernel); allocs != 0 {
+		t.Fatalf("mergesort kernel steady state allocates %v times per run", allocs)
+	}
+}

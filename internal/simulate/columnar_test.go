@@ -1,0 +1,84 @@
+package simulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestColumnarEquivalence is the acceptance test for the columnar
+// (structure-of-arrays) host kernels: for every (System, Operator) pair,
+// with skew-aware execution off and on, the complete Result — timing,
+// energy, DRAM stats, step timeline — and its JSON encoding are
+// byte-identical with Columnar on or off. The columnar scan, partition,
+// sort, group-by and join kernels may only change host wall-clock time
+// and allocation behaviour — never a simulated number.
+func TestColumnarEquivalence(t *testing.T) {
+	for _, s := range Systems() {
+		for _, op := range Operators() {
+			for _, skew := range []bool{false, true} {
+				s, op, skew := s, op, skew
+				sub := s.String() + "/" + op.String()
+				if skew {
+					sub += "/skew"
+				}
+				t.Run(sub, func(t *testing.T) {
+					t.Parallel()
+					var golden *Result
+					var goldenJSON []byte
+					for _, columnar := range []bool{false, true} {
+						p := goldenParams()
+						p.SkewAware = skew
+						p.Columnar = columnar
+						r, err := Run(s, op, p)
+						if err != nil {
+							t.Fatalf("columnar=%v: %v", columnar, err)
+						}
+						if !r.Verified {
+							t.Fatalf("columnar=%v: output verification failed", columnar)
+						}
+						j, err := json.Marshal(r)
+						if err != nil {
+							t.Fatalf("columnar=%v: marshal: %v", columnar, err)
+						}
+						if golden == nil {
+							golden, goldenJSON = r, j
+							continue
+						}
+						if !reflect.DeepEqual(golden, r) {
+							t.Errorf("Result differs between columnar off and on")
+						}
+						if !bytes.Equal(goldenJSON, j) {
+							t.Errorf("report JSON differs between columnar off and on:\n%s\nvs\n%s",
+								goldenJSON, j)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestColumnarIgnoredUnderNoBulk pins the flag interaction: NoBulk
+// forces the per-tuple reference loops, so Columnar must be inert — the
+// engine reports the combination as non-columnar and the run result
+// matches the plain NoBulk run exactly.
+func TestColumnarIgnoredUnderNoBulk(t *testing.T) {
+	p := goldenParams()
+	p.NoBulk = true
+	ref, err := Run(Mondrian, OpSort, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Columnar = true
+	got, err := Run(Mondrian, OpSort, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, _ := json.Marshal(ref)
+	gotJSON, _ := json.Marshal(got)
+	if !bytes.Equal(refJSON, gotJSON) {
+		t.Fatal("Columnar changed a NoBulk run")
+	}
+}

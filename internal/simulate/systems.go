@@ -71,6 +71,14 @@ type Params struct {
 	// wall-clock time and the skew_* observability metrics differ.
 	// Overridable with the MONDRIAN_SKEW_AWARE environment variable.
 	SkewAware bool
+	// Columnar selects the columnar (structure-of-arrays) host kernels:
+	// scan, partition, sort, group-by and join inner loops run over
+	// dense key columns with arena-backed scratch instead of the
+	// tuple-at-a-time bulk loops. Report JSON is byte-identical with
+	// the flag on or off — only host wall-clock time and allocation
+	// behaviour change. Ignored when NoBulk forces the reference loops.
+	// Overridable with the MONDRIAN_COLUMNAR environment variable.
+	Columnar bool
 	// ZipfS selects skewed workloads: 0 (the default) keeps the uniform
 	// generators; a finite exponent > 1 draws the Scan/Sort/Group-by
 	// input keys (and the Join probe relation's foreign keys) from a
@@ -94,6 +102,7 @@ func DefaultParams() Params {
 		Parallelism:   envParallelism(),
 		NoBulk:        envNoBulk(),
 		SkewAware:     envSkewAware(),
+		Columnar:      envColumnar(),
 		Cubes:         4,
 		VaultsPer:     16,
 		CPUCores:      16,
@@ -181,6 +190,23 @@ func envSkewAware() bool {
 	return b
 }
 
+// envColumnar reads the MONDRIAN_COLUMNAR override. Boolean spellings
+// parse as usual; anything else non-empty means "set" (columnar kernels
+// enabled) but is reported with a one-line warning naming the variable
+// and value.
+func envColumnar() bool {
+	v := os.Getenv("MONDRIAN_COLUMNAR")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		fmt.Fprintf(envWarnOut, "mondrian: MONDRIAN_COLUMNAR=%q is not a boolean; treating as set (columnar kernels enabled)\n", v)
+		return true
+	}
+	return b
+}
+
 // geometry derives the per-vault DRAM geometry.
 func (p Params) geometry() dram.Geometry {
 	g := dram.HMCGeometry()
@@ -207,6 +233,7 @@ func (p Params) EngineConfig(s System) engine.Config {
 	cfg.Parallelism = p.Parallelism
 	cfg.NoBulk = p.NoBulk
 	cfg.SkewAware = p.SkewAware
+	cfg.Columnar = p.Columnar
 	cfg.Obs = p.Obs
 	if sp.HostCores {
 		cfg.CPUCores = p.CPUCores

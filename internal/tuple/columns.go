@@ -1,0 +1,345 @@
+package tuple
+
+// Structure-of-arrays (SoA) relation kernels.
+//
+// A []Tuple is the simulated memory layout: densely packed 16-byte
+// records. The host, however, spends most of its wall-clock in inner
+// loops that look at only the key half (scan compare, partition bucket
+// math, sort compare) — with the AoS layout every such loop strides 16
+// bytes to use 8, wasting half the host cache bandwidth and defeating
+// the compiler's ability to keep the loop branch-light. Columns is the
+// same relation as two dense arrays, one per field, so key-only loops
+// touch exactly the bytes they need.
+//
+// Columns is a host-execution representation only. Operators convert at
+// batch boundaries (cheap: two sequential copies), run the hot kernel
+// over the columns, and convert back; every simulated-memory access is
+// still charged through the engine's Load/Store/Charge calls against
+// the AoS addresses, so simulated results are layout-invariant (see
+// DESIGN.md §14).
+
+// Columns holds one relation as separate key and value arrays (SoA).
+// Keys and Vals always have equal length.
+type Columns struct {
+	Keys []Key
+	Vals []Value
+}
+
+// Len returns the number of tuples represented.
+func (c *Columns) Len() int { return len(c.Keys) }
+
+// Reset empties the columns, keeping capacity for reuse.
+func (c *Columns) Reset() {
+	c.Keys = c.Keys[:0]
+	c.Vals = c.Vals[:0]
+}
+
+// Resize sets the length to n, reusing capacity when possible. Newly
+// exposed elements hold stale data; callers overwrite before reading.
+func (c *Columns) Resize(n int) {
+	if cap(c.Keys) < n {
+		c.Keys = make([]Key, n)
+		c.Vals = make([]Value, n)
+		return
+	}
+	c.Keys = c.Keys[:n]
+	c.Vals = c.Vals[:n]
+}
+
+// AppendTuples appends ts in AoS→SoA form.
+func (c *Columns) AppendTuples(ts []Tuple) {
+	for i := range ts {
+		c.Keys = append(c.Keys, ts[i].Key)
+		c.Vals = append(c.Vals, ts[i].Val)
+	}
+}
+
+// SetTuples replaces the contents with ts (AoS→SoA), reusing capacity.
+func (c *Columns) SetTuples(ts []Tuple) {
+	c.Resize(len(ts))
+	ks, vs := c.Keys, c.Vals
+	if len(ks) != len(ts) || len(vs) != len(ts) {
+		return // unreachable; keeps the bounds checks hoisted below
+	}
+	for i := range ts {
+		ks[i] = ts[i].Key
+		vs[i] = ts[i].Val
+	}
+}
+
+// WriteTuples interleaves the columns back into ts (SoA→AoS). ts must
+// have length Len().
+func (c *Columns) WriteTuples(ts []Tuple) {
+	ks, vs := c.Keys, c.Vals
+	if len(ts) != len(ks) || len(vs) != len(ks) {
+		panic("tuple: Columns.WriteTuples length mismatch")
+	}
+	for i := range ts {
+		ts[i].Key = ks[i]
+		ts[i].Val = vs[i]
+	}
+}
+
+// AppendTo appends the columns in AoS form to dst and returns it.
+func (c *Columns) AppendTo(dst []Tuple) []Tuple {
+	ks, vs := c.Keys, c.Vals
+	for i := range ks {
+		dst = append(dst, Tuple{Key: ks[i], Val: vs[i]})
+	}
+	return dst
+}
+
+// ExtractKeys fills dst (resliced from its capacity when possible) with
+// the key column of ts and returns it. This is the AoS→key-column half
+// of the conversion, used by the engine's region key mirrors.
+func ExtractKeys(dst []Key, ts []Tuple) []Key {
+	if cap(dst) < len(ts) {
+		dst = make([]Key, len(ts))
+	}
+	dst = dst[:len(ts)]
+	for i := range ts {
+		dst[i] = ts[i].Key
+	}
+	return dst
+}
+
+// FindKey returns the first index i ≥ from with keys[i] == needle, or
+// len(keys) if there is none. The 4-wide main loop keeps the compare
+// chain free of per-element branch mispredictions for the common
+// no-match stretches of a scan.
+func FindKey(keys []Key, from int, needle Key) int {
+	i := from
+	if i < 0 {
+		i = 0
+	}
+	for ; i+4 <= len(keys); i += 4 {
+		if keys[i] == needle || keys[i+1] == needle ||
+			keys[i+2] == needle || keys[i+3] == needle {
+			break
+		}
+	}
+	for ; i < len(keys); i++ {
+		if keys[i] == needle {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// RunEnd returns the first index i > start with keys[i] != keys[start]
+// (or len(keys)): the exclusive end of the equal-key run beginning at
+// start. start must be a valid index.
+func RunEnd(keys []Key, start int) int {
+	k := keys[start]
+	i := start + 1
+	for ; i+4 <= len(keys); i += 4 {
+		if keys[i] != k || keys[i+1] != k || keys[i+2] != k || keys[i+3] != k {
+			break
+		}
+	}
+	for ; i < len(keys); i++ {
+		if keys[i] != k {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// AdvanceBelow returns the first index i ≥ from with keys[i] >= bound,
+// or len(keys): the sort-merge join's "advance R while its key is less
+// than the current S key" kernel.
+func AdvanceBelow(keys []Key, from int, bound Key) int {
+	i := from
+	if i < 0 {
+		i = 0
+	}
+	for ; i+4 <= len(keys); i += 4 {
+		if keys[i] >= bound || keys[i+1] >= bound ||
+			keys[i+2] >= bound || keys[i+3] >= bound {
+			break
+		}
+	}
+	for ; i < len(keys); i++ {
+		if keys[i] >= bound {
+			return i
+		}
+	}
+	return len(keys)
+}
+
+// radixSortCutoff is the size below which SortByKey falls back to an
+// insertion sort: for tiny runs the O(n) digit passes cost more than
+// the quadratic scan.
+const radixSortCutoff = 48
+
+// SortByKey sorts the columns by key ascending, carrying the payload
+// permutation, using scratch as the ping-pong buffer (resized as
+// needed; its contents are undefined afterwards).
+//
+// The algorithm is a least-significant-digit radix sort over 8-bit
+// digits, with the pass count derived from the maximum key present, so
+// a 2^24 key space pays three counting passes rather than eight. LSD
+// radix is stable, hence a deterministic function of the key sequence —
+// repeated runs permute equal-key tuples identically, which is all the
+// simulation requires (it observes addresses and counts, never
+// payloads). The permutation may differ from SortSliceByKey's; both are
+// valid sorts, and every verifier compares multisets, not orderings.
+func (c *Columns) SortByKey(scratch *Columns) {
+	n := len(c.Keys)
+	if n < 2 {
+		return
+	}
+	if n < radixSortCutoff {
+		insertionSortCols(c.Keys, c.Vals)
+		return
+	}
+	var max Key
+	for _, k := range c.Keys {
+		if k > max {
+			max = k
+		}
+	}
+	passes := 1
+	for v := max >> 8; v > 0; v >>= 8 {
+		passes++
+	}
+	scratch.Resize(n)
+	src, dst := c, scratch
+	for p := 0; p < passes; p++ {
+		shift := uint(8 * p)
+		sk := src.Keys[:n]
+		var count [256]int
+		for i := range sk {
+			count[(sk[i]>>shift)&0xff]++
+		}
+		// A digit where every key agrees permutes nothing: skip the
+		// scatter (common for high digits of clustered key ranges).
+		if count[(sk[0]>>shift)&0xff] == n {
+			continue
+		}
+		var off [256]int
+		sum := 0
+		for d := 0; d < 256; d++ {
+			off[d] = sum
+			sum += count[d]
+		}
+		sv := src.Vals[:n]
+		dk := dst.Keys[:n]
+		dv := dst.Vals[:n]
+		for i := range sk {
+			d := (sk[i] >> shift) & 0xff
+			j := off[d]
+			off[d] = j + 1
+			dk[j] = sk[i]
+			dv[j] = sv[i]
+		}
+		src, dst = dst, src
+	}
+	if src != c {
+		copy(c.Keys, src.Keys[:n])
+		copy(c.Vals, src.Vals[:n])
+	}
+}
+
+// insertionSortCols is the small-n fallback, keyed on Keys and moving
+// Vals in lockstep. Like the radix path it is stable.
+func insertionSortCols(keys []Key, vals []Value) {
+	for i := 1; i < len(keys); i++ {
+		k, v := keys[i], vals[i]
+		j := i - 1
+		for j >= 0 && keys[j] > k {
+			keys[j+1] = keys[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		keys[j+1] = k
+		vals[j+1] = v
+	}
+}
+
+// IsSortedKeys reports whether keys is in non-decreasing order.
+func IsSortedKeys(keys []Key) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Arena is a grow-only scratch allocator for the columnar kernels. Each
+// engine unit owns one; operators borrow column sets, bucket-id arrays
+// and tuple staging buffers for the duration of a batch and return them
+// when done. Freed buffers go on per-type free lists and are reused by
+// the next borrow, so after the first run of each shape has warmed the
+// arena, the steady state performs zero heap allocations.
+//
+// Arena is not safe for concurrent use; the per-unit ownership already
+// guarantees single-threaded access.
+type Arena struct {
+	cols   []*Columns
+	ids    [][]int32
+	tuples [][]Tuple
+}
+
+// Cols borrows a column set of length n (contents undefined).
+func (a *Arena) Cols(n int) *Columns {
+	var c *Columns
+	if len(a.cols) > 0 {
+		c = a.cols[len(a.cols)-1]
+		a.cols = a.cols[:len(a.cols)-1]
+	} else {
+		c = &Columns{}
+	}
+	c.Resize(n)
+	return c
+}
+
+// PutCols returns a borrowed column set to the arena.
+func (a *Arena) PutCols(c *Columns) {
+	if c == nil {
+		return
+	}
+	a.cols = append(a.cols, c)
+}
+
+// IDs borrows an int32 scratch array of length n (contents undefined),
+// sized for bucket identifiers (bucket counts are validated ≤ 2^20).
+func (a *Arena) IDs(n int) []int32 {
+	if len(a.ids) > 0 {
+		ids := a.ids[len(a.ids)-1]
+		a.ids = a.ids[:len(a.ids)-1]
+		if cap(ids) >= n {
+			return ids[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+// PutIDs returns a borrowed id array to the arena.
+func (a *Arena) PutIDs(ids []int32) {
+	if ids == nil {
+		return
+	}
+	a.ids = append(a.ids, ids)
+}
+
+// Tuples borrows a tuple staging buffer with length 0 and capacity ≥ n.
+func (a *Arena) Tuples(n int) []Tuple {
+	if len(a.tuples) > 0 {
+		ts := a.tuples[len(a.tuples)-1]
+		a.tuples = a.tuples[:len(a.tuples)-1]
+		if cap(ts) >= n {
+			return ts[:0]
+		}
+	}
+	return make([]Tuple, 0, n)
+}
+
+// PutTuples returns a borrowed staging buffer to the arena.
+func (a *Arena) PutTuples(ts []Tuple) {
+	if ts == nil {
+		return
+	}
+	a.tuples = append(a.tuples, ts)
+}

@@ -1,0 +1,242 @@
+package tuple
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomColumns(rng *rand.Rand, n int, keySpace uint64) ([]Tuple, *Columns) {
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = Tuple{Key: Key(rng.Uint64() % keySpace), Val: Value(i)}
+	}
+	c := &Columns{}
+	c.SetTuples(ts)
+	return ts, c
+}
+
+// Property: AoS→SoA→AoS is the identity, through both the Set/Write
+// and the Append converters.
+func TestColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 47, 48, 49, 1000} {
+		ts, c := randomColumns(rng, n, 1<<20)
+		if c.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, c.Len())
+		}
+		back := make([]Tuple, n)
+		c.WriteTuples(back)
+		for i := range ts {
+			if back[i] != ts[i] {
+				t.Fatalf("n=%d: WriteTuples[%d] = %v, want %v", n, i, back[i], ts[i])
+			}
+		}
+		c2 := &Columns{}
+		c2.AppendTuples(ts[:n/2])
+		c2.AppendTuples(ts[n/2:])
+		got := c2.AppendTo(nil)
+		for i := range ts {
+			if got[i] != ts[i] {
+				t.Fatalf("n=%d: AppendTo[%d] = %v, want %v", n, i, got[i], ts[i])
+			}
+		}
+	}
+}
+
+// Property: SortByKey produces a sorted permutation of the input —
+// same key multiset, payloads still attached to their original keys —
+// and, being stable, preserves payload order within equal keys.
+func TestColumnsSortByKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scratch := &Columns{}
+	for _, tc := range []struct {
+		n        int
+		keySpace uint64
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {40, 8}, {48, 8}, {100, 4},
+		{1000, 1 << 16}, {5000, 1 << 24}, {3000, 7}, {2048, 1},
+	} {
+		ts, c := randomColumns(rng, tc.n, tc.keySpace)
+		c.SortByKey(scratch)
+		if !IsSortedKeys(c.Keys) {
+			t.Fatalf("n=%d ks=%d: keys not sorted", tc.n, tc.keySpace)
+		}
+		if !SameMultiset(ts, c.AppendTo(nil)) {
+			t.Fatalf("n=%d ks=%d: sort changed the tuple multiset", tc.n, tc.keySpace)
+		}
+		// Stability: Vals were assigned ascending at generation, so
+		// within each equal-key run they must stay ascending.
+		for i := 1; i < c.Len(); i++ {
+			if c.Keys[i] == c.Keys[i-1] && c.Vals[i] < c.Vals[i-1] {
+				t.Fatalf("n=%d ks=%d: unstable at %d: vals %d then %d under key %d",
+					tc.n, tc.keySpace, i, c.Vals[i-1], c.Vals[i], c.Keys[i])
+			}
+		}
+	}
+}
+
+// Property: the flat key kernels agree with their obvious per-element
+// reference loops on random inputs and at every starting offset.
+func TestKeyKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		keys := make([]Key, n)
+		for i := range keys {
+			keys[i] = Key(rng.Uint64() % 8)
+		}
+		for from := -1; from <= n; from++ {
+			needle := Key(rng.Uint64() % 8)
+			want := len(keys)
+			for i := maxInt(from, 0); i < len(keys); i++ {
+				if keys[i] == needle {
+					want = i
+					break
+				}
+			}
+			if got := FindKey(keys, from, needle); got != want {
+				t.Fatalf("FindKey(%v, %d, %d) = %d, want %d", keys, from, needle, got, want)
+			}
+			bound := Key(rng.Uint64() % 8)
+			want = len(keys)
+			for i := maxInt(from, 0); i < len(keys); i++ {
+				if keys[i] >= bound {
+					want = i
+					break
+				}
+			}
+			if got := AdvanceBelow(keys, from, bound); got != want {
+				t.Fatalf("AdvanceBelow(%v, %d, %d) = %d, want %d", keys, from, bound, got, want)
+			}
+		}
+		for start := 0; start < n; start++ {
+			want := len(keys)
+			for i := start + 1; i < len(keys); i++ {
+				if keys[i] != keys[start] {
+					want = i
+					break
+				}
+			}
+			if got := RunEnd(keys, start); got != want {
+				t.Fatalf("RunEnd(%v, %d) = %d, want %d", keys, start, got, want)
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExtractKeys mirrors the key column and reuses capacity.
+func TestExtractKeys(t *testing.T) {
+	ts, _ := randomColumns(rand.New(rand.NewSource(17)), 100, 1<<10)
+	keys := ExtractKeys(nil, ts)
+	for i := range ts {
+		if keys[i] != ts[i].Key {
+			t.Fatalf("keys[%d] = %d, want %d", i, keys[i], ts[i].Key)
+		}
+	}
+	// Shrinking reuse: a smaller extract into the same backing must not
+	// allocate.
+	small := ts[:10]
+	if allocs := testing.AllocsPerRun(100, func() {
+		keys = ExtractKeys(keys, small)
+	}); allocs != 0 {
+		t.Fatalf("ExtractKeys reuse allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Regression (satellite of ISSUE 7): SplitEven no longer formats a name
+// per chunk, so its allocations are exactly the output slice plus one
+// Relation header per chunk — independent of the parent's name length.
+func TestSplitEvenAllocs(t *testing.T) {
+	r := &Relation{Name: "a-relation-with-a-reasonably-long-name", Tuples: make([]Tuple, 1<<12)}
+	const n = 64
+	allocs := testing.AllocsPerRun(100, func() {
+		r.SplitEven(n)
+	})
+	// 1 for the []*Relation plus n Relation structs.
+	if allocs > n+1 {
+		t.Fatalf("SplitEven(%d) allocated %.1f times per run, want <= %d", n, allocs, n+1)
+	}
+}
+
+// ChunkName still provides the indexed display form on demand.
+func TestChunkName(t *testing.T) {
+	r := &Relation{Name: "rel"}
+	if got := r.ChunkName(3); got != "rel[3]" {
+		t.Fatalf("ChunkName(3) = %q, want %q", got, "rel[3]")
+	}
+}
+
+// The arena's steady state after warm-up performs zero heap
+// allocations: borrow/return cycles at stable sizes reuse the warmed
+// buffers, including the radix sort's scratch.
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	var a Arena
+	rng := rand.New(rand.NewSource(19))
+	ts, _ := randomColumns(rng, 4096, 1<<16)
+	work := func() {
+		c := a.Cols(len(ts))
+		scratch := a.Cols(len(ts))
+		ids := a.IDs(len(ts))
+		stage := a.Tuples(len(ts))
+		c.SetTuples(ts)
+		c.SortByKey(scratch)
+		for i, k := range c.Keys {
+			ids[i] = int32(k & 0xff)
+		}
+		stage = c.AppendTo(stage)
+		a.PutTuples(stage)
+		a.PutIDs(ids)
+		a.PutCols(scratch)
+		a.PutCols(c)
+	}
+	work() // warm-up run populates the free lists
+	if allocs := testing.AllocsPerRun(50, work); allocs != 0 {
+		t.Fatalf("steady-state arena cycle allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// FuzzColumnsSortRoundTrip drives SortByKey with arbitrary key/value
+// bytes: output must be sorted, the same multiset as the input, and
+// identical to re-sorting (idempotence).
+func FuzzColumnsSortRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint64(1<<16))
+	f.Add([]byte{}, uint64(1))
+	f.Add([]byte{0xff, 0xff, 0xff, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, uint64(1<<40))
+	f.Fuzz(func(t *testing.T, raw []byte, keySpace uint64) {
+		if keySpace == 0 {
+			keySpace = 1
+		}
+		c := &Columns{}
+		for i := 0; i+8 <= len(raw); i += 8 {
+			var k uint64
+			for j := 0; j < 8; j++ {
+				k = k<<8 | uint64(raw[i+j])
+			}
+			c.Keys = append(c.Keys, Key(k%keySpace))
+			c.Vals = append(c.Vals, Value(i))
+		}
+		in := c.AppendTo(nil)
+		scratch := &Columns{}
+		c.SortByKey(scratch)
+		if !IsSortedKeys(c.Keys) {
+			t.Fatalf("not sorted: %v", c.Keys)
+		}
+		if !SameMultiset(in, c.AppendTo(nil)) {
+			t.Fatal("sort changed the tuple multiset")
+		}
+		again := &Columns{Keys: append([]Key(nil), c.Keys...), Vals: append([]Value(nil), c.Vals...)}
+		again.SortByKey(scratch)
+		for i := range c.Keys {
+			if again.Keys[i] != c.Keys[i] || again.Vals[i] != c.Vals[i] {
+				t.Fatalf("re-sort moved element %d", i)
+			}
+		}
+	})
+}

@@ -86,6 +86,11 @@ func (r *Relation) IsSortedByKey() bool {
 // SplitEven divides the relation into n contiguous chunks whose sizes differ
 // by at most one tuple. It is used to distribute an input across memory
 // partitions (vaults) before an operator runs.
+//
+// Chunks share the parent's Name: nothing on the placement path reads a
+// per-chunk name, and formatting one per vault put a fmt.Sprintf (and
+// its allocations) on every run's setup. Display code that wants the
+// indexed form builds it on demand with ChunkName.
 func (r *Relation) SplitEven(n int) []*Relation {
 	if n <= 0 {
 		panic("tuple: SplitEven requires n > 0")
@@ -99,12 +104,19 @@ func (r *Relation) SplitEven(n int) []*Relation {
 			size++
 		}
 		out[i] = &Relation{
-			Name:   fmt.Sprintf("%s[%d]", r.Name, i),
+			Name:   r.Name,
 			Tuples: r.Tuples[start : start+size],
 		}
 		start += size
 	}
 	return out
+}
+
+// ChunkName formats the indexed display name of chunk i of this
+// relation ("name[i]"), for tracing and diagnostics that want to tell
+// SplitEven chunks apart.
+func (r *Relation) ChunkName(i int) string {
+	return fmt.Sprintf("%s[%d]", r.Name, i)
 }
 
 // Concat concatenates the given relations into a single new relation.
