@@ -37,20 +37,28 @@ fuzz:
 	$(GO) test -fuzz=FuzzPartitionRoundTrip -fuzztime=10s ./internal/operators/
 	$(GO) test -fuzz=FuzzRadixRoundTrip -fuzztime=10s ./internal/operators/
 	$(GO) test -run='^$$' -fuzz=FuzzRunNoPanic -fuzztime=15s ./internal/simulate/
+	$(GO) test -run='^$$' -fuzz=FuzzRunPlanNoPanic -fuzztime=15s ./internal/simulate/
 
 # Operator benchmarks (bulk fast path vs columnar kernels vs per-tuple
-# reference) plus the host worker-pool scaling sweep, converted to a
-# benchstat-compatible JSON snapshot. `jq -r '.raw[]' BENCH_PR2.json`
-# reconstructs plain `go test -bench` output for benchstat. The second
-# step regenerates BENCH_PR5.json: one compact run manifest per
-# System × Operator through the observability exporter, the structured
-# per-run counter trajectory the BENCH_* files track across PRs.
+# reference), the host worker-pool scaling sweep, and the fused-vs-staged
+# query-plan benchmarks, converted to a benchstat-compatible JSON
+# snapshot. `jq -r '.raw[]' BENCH_PR2.json` reconstructs plain
+# `go test -bench` output for benchstat. The second step regenerates
+# BENCH_PR5.json: one compact run manifest per System × Operator through
+# the observability exporter, the structured per-run counter trajectory
+# the BENCH_* files track across PRs. The third does the same for whole
+# query plans — BENCH_PR8.json holds one manifest per
+# System × Plan × fused/staged, so the re-shuffle elisions' exchange-byte
+# savings are tracked as data.
 bench:
-	$(GO) test -bench='BenchmarkOp|BenchmarkEngineParallel' -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
+	$(GO) test -bench='BenchmarkOp|BenchmarkEngineParallel|BenchmarkPlan' -benchtime=2x -run=^$$ . | $(GO) run ./cmd/benchjson > BENCH_PR2.json
 	@echo wrote BENCH_PR2.json
 	rm -f BENCH_PR5.json
 	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
 	@echo wrote BENCH_PR5.json
+	rm -f BENCH_PR8.json
+	$(GO) run ./cmd/mondrian-bench -small -plans -manifest BENCH_PR8.json
+	@echo wrote BENCH_PR8.json
 
 # One-iteration smoke pass over every benchmark (CI keeps this fast),
 # plus a fresh manifest for the CI artifact upload.
@@ -58,33 +66,38 @@ bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
 	rm -f BENCH_PR5.json
 	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
+	rm -f BENCH_PR8.json
+	$(GO) run ./cmd/mondrian-bench -small -plans -manifest BENCH_PR8.json
 
 # Re-record the benchmark baseline (run on the reference machine;
 # benchguard skips when the CPU model differs): the disabled-metrics
-# overhead benchmark plus the columnar kernel microbenchmarks.
+# overhead benchmark, the columnar kernel microbenchmarks, and the
+# fused/staged query-plan end-to-end runs.
 bench-baseline:
-	( $(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . ; \
+	( $(GO) test -bench='BenchmarkObsOverhead|BenchmarkPlanJoinAggSort' -benchtime=5x -run=^$$ . ; \
 	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
 	  | $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
 
 # Fail if the nil-registry (observability disabled) path got >5% slower,
-# or any columnar kernel got >10% slower, than the recorded baseline.
-# Guard output stays out of the repo.
+# or any columnar kernel or query-plan run got >10% slower, than the
+# recorded baseline. Guard output stays out of the repo.
 bench-guard:
 	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_obs_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_obs_current.json
 	$(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple | $(GO) run ./cmd/benchjson > /tmp/bench_cols_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_cols_current.json -match '^BenchmarkColumnarKernel' -threshold 0.10
+	$(GO) test -bench=BenchmarkPlanJoinAggSort -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_plan_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_plan_current.json -match '^BenchmarkPlanJoinAggSort' -threshold 0.10
 
 # Print baseline-vs-current per-op ratios for every guarded benchmark
 # (no failure thresholds — a human-readable drift report).
 bench-compare:
-	( $(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . ; \
+	( $(GO) test -bench='BenchmarkObsOverhead|BenchmarkPlanJoinAggSort' -benchtime=5x -run=^$$ . ; \
 	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
 	  | $(GO) run ./cmd/benchjson > /tmp/bench_compare_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_compare_current.json \
-	  -match '^Benchmark(ObsOverhead|ColumnarKernel)' -report
+	  -match '^Benchmark(ObsOverhead|ColumnarKernel|PlanJoinAggSort)' -report
 
 # ci mirrors .github/workflows/ci.yml: tier-1 build+vet+test, then the race pass.
 ci: test vet race

@@ -567,6 +567,47 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkPlanJoinAggSort times the compiled three-stage query
+//
+//	SORT( GROUPBY( R ⋈ S ) )
+//
+// end to end, fused versus staged. In the fused mode the plan compiler
+// notices the join already leaves its output hash-partitioned on the key
+// and elides the group-by's re-shuffle; the staged mode re-buckets at
+// every stage boundary (the pre-compiler pipeline behavior). The
+// fused/staged ratio is therefore the compiler's whole-query win on real
+// host time, the same saving TestPlanFusionSavings pins on simulated
+// exchange bytes. Runs at the golden-fixture scale so the 5-iteration
+// benchguard pass stays fast; cmd/benchguard holds the numbers to within
+// 10% of the recorded BENCH_BASELINE.json.
+func BenchmarkPlanJoinAggSort(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		staged bool
+	}{{"fused", false}, {"staged", true}} {
+		for _, s := range []simulate.System{simulate.NMP, simulate.Mondrian} {
+			b.Run(mode.name+"/"+s.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				p := simulate.TestParams()
+				p.STuples = 1 << 13
+				p.RTuples = 1 << 12
+				p.KeySpace = 1 << 16
+				p.CPUBuckets = 1 << 8
+				p.NoFusion = mode.staged
+				for i := 0; i < b.N; i++ {
+					r, err := simulate.RunPlan(s, simulate.PlanJoinAggSort, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !r.Verified {
+						b.Fatal("plan not verified")
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationSchedulerWindow quantifies §4.1.2's claim that
 // conventional memory-controller reordering cannot recover the shuffle's
 // row locality: an FR-FCFS scheduling window of increasing depth services

@@ -29,6 +29,7 @@ func main() {
 		only   = flag.String("only", "", "run a single experiment: table5|fig6|fig7|fig8|fig9")
 		asJSON = flag.Bool("json", false, "emit all artifacts as JSON instead of text")
 		manOut = flag.String("manifest", "", "append one compact JSON run manifest per (system, operator) to `file` and exit (\"-\" = stdout)")
+		plans  = flag.Bool("plans", false, "with -manifest: emit query-plan manifests (system × plan × fused/staged) instead of single operators")
 		par    = flag.Int("parallelism", 0, "host worker pool for per-vault execution (0 = GOMAXPROCS, 1 = serial; results are identical at every setting)")
 		cols   = flag.Bool("columnar", false, "run the columnar (structure-of-arrays) host kernels; results are identical either way")
 		cpuOut = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
@@ -89,7 +90,11 @@ func main() {
 	}
 
 	if *manOut != "" {
-		if err := writeManifests(*manOut, p); err != nil {
+		write := writeManifests
+		if *plans {
+			write = writePlanManifests
+		}
+		if err := write(*manOut, p); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -179,6 +184,41 @@ func writeManifests(path string, p simulate.Params) error {
 				m.Host.Timestamp = start.UTC().Format(time.RFC3339)
 				if err := m.WriteJSONLine(w); err != nil {
 					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// writePlanManifests runs the system × plan matrix — each shape in fused
+// and staged mode — with metrics enabled and appends one compact JSON
+// manifest per run to path (make bench emits BENCH_PR8.json this way).
+// The staged runs give the baseline the fused runs' exchange-byte and
+// runtime savings are measured against.
+func writePlanManifests(path string, p simulate.Params) error {
+	return cliio.AppendFile(path, func(w io.Writer) error {
+		for _, s := range simulate.Systems() {
+			for _, pl := range simulate.Plans() {
+				for _, staged := range []bool{false, true} {
+					p := p
+					p.NoFusion = staged
+					p.Obs = obs.NewRegistry()
+					start := time.Now()
+					res, err := simulate.RunPlan(s, pl, p)
+					wall := time.Since(start)
+					if err != nil {
+						return fmt.Errorf("%v/%v: %w", s, pl, err)
+					}
+					if !res.Verified {
+						return fmt.Errorf("%v/%v: output verification failed", s, pl)
+					}
+					m := simulate.BuildPlanManifest(res, p, false)
+					m.Host.WallNs = wall.Nanoseconds()
+					m.Host.Timestamp = start.UTC().Format(time.RFC3339)
+					if err := m.WriteJSONLine(w); err != nil {
+						return err
+					}
 				}
 			}
 		}

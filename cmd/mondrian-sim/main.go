@@ -72,8 +72,10 @@ func customize(base simulate.System, topo string, l1Bytes, streamBufs int) (simu
 func run() error {
 	defaults := simulate.DefaultParams()
 	var (
-		sysName  = flag.String("system", "mondrian", "system: "+strings.ToLower(strings.Join(simulate.SystemNames(), ", ")))
-		opName   = flag.String("op", "join", "operator: "+strings.Join(simulate.OperatorNames(), ", "))
+		sysName = flag.String("system", "mondrian", "system: "+strings.ToLower(strings.Join(simulate.SystemNames(), ", ")))
+		opName  = flag.String("op", "join", "operator: "+strings.Join(simulate.OperatorNames(), ", ")+
+			"; or a query plan: "+strings.Join(simulate.PlanNames(), ", "))
+		staged   = flag.Bool("staged", false, "disable the query-plan compiler's re-shuffle elision (plans only): every stage re-partitions from scratch")
 		sTup     = flag.Int("s-tuples", 1<<16, "large-relation cardinality")
 		rTup     = flag.Int("r-tuples", 1<<15, "small join relation cardinality")
 		group    = flag.Int("group-size", defaults.GroupSize, "average group size (groupby)")
@@ -90,8 +92,8 @@ func run() error {
 		// -columnar defaults to the MONDRIAN_COLUMNAR environment
 		// override so the flag and variable compose.
 		columnar = flag.Bool("columnar", defaults.Columnar, "run the columnar (structure-of-arrays) host kernels; simulated results are byte-identical")
-		zipfS     = flag.Float64("zipf-s", 0, "Zipf exponent for skewed workload keys (0 = uniform; must be > 1 otherwise)")
-		overprov  = flag.Float64("overprovision", 0, "destination-buffer overprovision factor (0 = operator default)")
+		zipfS    = flag.Float64("zipf-s", 0, "Zipf exponent for skewed workload keys (0 = uniform; must be > 1 otherwise)")
+		overprov = flag.Float64("overprovision", 0, "destination-buffer overprovision factor (0 = operator default)")
 
 		// Observability outputs. Setting any of them enables the metrics
 		// registry for the run; "-" writes to stdout.
@@ -111,9 +113,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	op, err := simulate.ParseOperator(*opName)
-	if err != nil {
-		return err
+	// -op selects a single operator or, when the name matches a registered
+	// query shape, a compiled multi-operator plan.
+	op, opErr := simulate.ParseOperator(*opName)
+	var pl simulate.Plan
+	isPlan := false
+	if opErr != nil {
+		if pl, err = simulate.ParsePlan(*opName); err != nil {
+			return opErr
+		}
+		isPlan = true
 	}
 	if *topo != "" || *l1Bytes != 0 || *streamBufs != 0 {
 		if sys, err = customize(sys, *topo, *l1Bytes, *streamBufs); err != nil {
@@ -133,6 +142,7 @@ func run() error {
 	p.Columnar = *columnar
 	p.ZipfS = *zipfS
 	p.Overprovision = *overprov
+	p.NoFusion = *staged
 	if *cpuCores != 0 {
 		p.CPUCores = *cpuCores
 	}
@@ -140,6 +150,9 @@ func run() error {
 	observing := *metricsOut != "" || *promOut != "" || *spans
 	if observing {
 		p.Obs = obs.NewRegistry()
+	}
+	if isPlan {
+		return runPlan(sys, pl, p, *steps, *spans, *metricsOut, *promOut)
 	}
 	start := time.Now()
 	res, err := simulate.Run(sys, op, p)
@@ -202,6 +215,86 @@ func run() error {
 	}
 	if *promOut != "" {
 		if err := cliio.WriteFile(*promOut, func(w io.Writer) error {
+			return obs.WritePrometheus(w, p.Obs)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPlan executes a compiled query plan and prints the per-stage report.
+func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
+	steps, spans bool, metricsOut, promOut string) error {
+	start := time.Now()
+	res, err := simulate.RunPlan(sys, pl, p)
+	wall := time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "system\t%v\n", res.System)
+	fmt.Fprintf(w, "plan\t%v\n", res.Plan)
+	if p.NoFusion {
+		fmt.Fprintf(w, "mode\tstaged (fusion disabled)\n")
+	} else {
+		noun := "re-shuffles"
+		if res.Elisions == 1 {
+			noun = "re-shuffle"
+		}
+		fmt.Fprintf(w, "mode\tfused (%d %s elided)\n", res.Elisions, noun)
+	}
+	fmt.Fprintf(w, "verified\t%v\n", res.Verified)
+	for _, st := range res.Stages {
+		mark := ""
+		if st.Fused {
+			mark = "  [fused]"
+		}
+		fmt.Fprintf(w, "stage %s\t%.3f ms  (%d tuples out)%s\n", st.Name, st.Ns/1e6, st.Tuples, mark)
+	}
+	fmt.Fprintf(w, "total\t%.3f ms\n", res.TotalNs/1e6)
+	fmt.Fprintf(w, "DRAM accesses\t%d (%.1f%% row hits)\n",
+		res.DRAM.Accesses(), res.DRAM.RowHitRate()*100)
+	fmt.Fprintf(w, "row activations\t%d\n", res.DRAM.Activations)
+	fmt.Fprintf(w, "bytes moved\t%d\n", res.DRAM.TotalBytes())
+	fmt.Fprintf(w, "energy\t%s\n", res.Energy)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if steps {
+		fmt.Println("\nstep timeline:")
+		for i, st := range res.Steps {
+			if st.Ns == 0 {
+				continue
+			}
+			fmt.Printf("  %2d %-32s %10.1f µs  (compute %.1f µs, mem %.1f µs, net %.1f µs, IPC %.2f)\n",
+				i, st.Name, st.Ns/1e3, st.MaxUnitNs/1e3, st.MemNs/1e3, st.NetNs/1e3, st.AggIPC)
+		}
+	}
+
+	if p.Obs == nil {
+		return nil
+	}
+	m := simulate.BuildPlanManifest(res, p, spans)
+	m.Host.WallNs = wall.Nanoseconds()
+	m.Host.Timestamp = start.UTC().Format(time.RFC3339)
+	if spans {
+		fmt.Println("\nspan tree (simulated time):")
+		if err := res.Spans.WriteTree(os.Stdout, 2); err != nil {
+			return err
+		}
+	}
+	if metricsOut != "" {
+		if err := cliio.WriteFile(metricsOut, func(w io.Writer) error {
+			return m.WriteJSON(w)
+		}); err != nil {
+			return err
+		}
+	}
+	if promOut != "" {
+		if err := cliio.WriteFile(promOut, func(w io.Writer) error {
 			return obs.WritePrometheus(w, p.Obs)
 		}); err != nil {
 			return err

@@ -292,14 +292,15 @@ type Engine struct {
 	barrierCnt int
 
 	// Observability state (obs.go); populated only when cfg.Obs != nil.
-	phaseOpen bool
-	curPhase  PhaseTiming
-	phaseSnap obsTotals
-	phaseWall time.Time
-	phaseSeen map[string]int
-	phases    []PhaseTiming
-	stepUnits [][]float64 // per-step per-unit TimeNs, aligned with steps
-	exchanges []exchangeRecord
+	phaseOpen   bool
+	phasePrefix string
+	curPhase    PhaseTiming
+	phaseSnap   obsTotals
+	phaseWall   time.Time
+	phaseSeen   map[string]int
+	phases      []PhaseTiming
+	stepUnits   [][]float64 // per-step per-unit TimeNs, aligned with steps
+	exchanges   []exchangeRecord
 
 	// Skew-aware accounting (obs.go / parallel.go); all updated at serial
 	// points, so deterministic at every parallelism level.

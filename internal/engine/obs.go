@@ -172,6 +172,9 @@ func (e *Engine) BeginPhase(name string) {
 	if e.phaseOpen {
 		panic(fmt.Sprintf("engine: BeginPhase(%q) while phase %q is open", name, e.curPhase.Name))
 	}
+	if e.phasePrefix != "" {
+		name = e.phasePrefix + "/" + name
+	}
 	e.phaseOpen = true
 	if n := e.phaseSeen[name]; n > 0 {
 		e.phaseSeen[name] = n + 1
@@ -186,6 +189,15 @@ func (e *Engine) BeginPhase(name string) {
 	e.phaseSnap = e.obsSnapshot()
 	e.phaseWall = time.Now()
 }
+
+// SetPhasePrefix labels the phases of subsequent BeginPhase calls with a
+// stage prefix ("join" turns the operator's "partition" phase into
+// "join/partition"), so multi-operator plans attribute every phase to the
+// plan stage that ran it. The empty prefix (the default) leaves phase
+// names exactly as the operators report them. Prefixed names feed the
+// same "#n" de-duplication as plain ones, so repeated stages stay
+// distinguishable. Callers set the prefix at serial points only.
+func (e *Engine) SetPhasePrefix(prefix string) { e.phasePrefix = prefix }
 
 // EndPhase closes the open phase. A no-op when observability is disabled.
 func (e *Engine) EndPhase() {

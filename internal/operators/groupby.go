@@ -1,6 +1,8 @@
 package operators
 
 import (
+	"sort"
+
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 )
@@ -59,7 +61,6 @@ func GroupBy(e *engine.Engine, cfg Config, inputs []*engine.Region) (*GroupByRes
 	if err := checkInputs(e, inputs); err != nil {
 		return nil, err
 	}
-	cm := cfg.Costs
 	total := totalLen(inputs)
 	part := Partitioner{Buckets: bucketCount(e, cfg, total)}
 
@@ -67,17 +68,35 @@ func GroupBy(e *engine.Engine, cfg Config, inputs []*engine.Region) (*GroupByRes
 	if err != nil {
 		return nil, err
 	}
-	res := &GroupByResult{Partition: pres, PartitionNs: pres.Ns()}
+	res, err := GroupByProbe(e, cfg, pres.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	res.Partition = pres
+	res.PartitionNs = pres.Ns()
+	return res, nil
+}
+
+// GroupByProbe runs the Group-by probe phase over already partitioned
+// buckets: every occurrence of a key must live in a single bucket, with
+// bucket b resident in vault b on the vault-partitioned architectures
+// (either a hash or a range partition satisfies this). GroupBy calls it
+// after its partition phase; plan execution calls it directly when an
+// upstream operator's output is already partitioned on the group key,
+// eliding the re-shuffle.
+func GroupByProbe(e *engine.Engine, cfg Config, buckets []*engine.Region) (*GroupByResult, error) {
+	cm := cfg.Costs
+	res := &GroupByResult{}
 	t1 := e.TotalNs()
 	e.BeginPhase("probe")
 	defer e.EndPhase()
 
 	if cfg.SortProbe {
-		if err := groupBySortProbe(e, cm, pres.Buckets, res); err != nil {
+		if err := groupBySortProbe(e, cm, buckets, res); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := groupByHashProbe(e, cfg, pres.Buckets, res); err != nil {
+		if err := groupByHashProbe(e, cfg, buckets, res); err != nil {
 			return nil, err
 		}
 	}
@@ -123,12 +142,20 @@ func groupByHashProbe(e *engine.Engine, cfg Config, buckets []*engine.Region, re
 				tables[g].update(u, t)
 			}
 		}
-		// Emission sweep over the table. Map order varies run to run, but
-		// the emitted writes are sequential appends, so the simulated
-		// address stream — and with it timing and energy — does not.
-		for key, agg := range tables[g].groups {
+		// Emission sweep over the table, in sorted key order. The writes
+		// are sequential appends either way, so the simulated address
+		// stream — and with it timing and energy — is order-independent;
+		// but the emitted tuple order must be deterministic because plan
+		// execution feeds these regions into downstream operators, whose
+		// access patterns follow the content.
+		keys := make([]tuple.Key, 0, len(tables[g].groups))
+		for key := range tables[g].groups {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
 			u.Charge(float64(numAggs) * 2)
-			emitGroup(u, outs[g], key, agg)
+			emitGroup(u, outs[g], key, tables[g].groups[key])
 			nGroups[g]++
 		}
 		return nil

@@ -39,7 +39,6 @@ func Join(e *engine.Engine, cfg Config, rIn, sIn []*engine.Region) (*JoinResult,
 	if err := checkInputs(e, sIn); err != nil {
 		return nil, err
 	}
-	cm := cfg.Costs
 	part := Partitioner{Buckets: bucketCount(e, cfg, totalLen(sIn))}
 
 	rPart, err := PartitionPhase(e, cfg, rIn, part)
@@ -50,16 +49,33 @@ func Join(e *engine.Engine, cfg Config, rIn, sIn []*engine.Region) (*JoinResult,
 	if err != nil {
 		return nil, fmt.Errorf("partitioning S: %w", err)
 	}
-	res := &JoinResult{RPartition: rPart, SPartition: sPart,
-		PartitionNs: rPart.Ns() + sPart.Ns()}
+	res, err := JoinProbe(e, cfg, rPart.Buckets, sPart.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	res.RPartition, res.SPartition = rPart, sPart
+	res.PartitionNs = rPart.Ns() + sPart.Ns()
+	return res, nil
+}
+
+// JoinProbe runs the join's probe phase over already co-partitioned
+// buckets: rBuckets[b] and sBuckets[b] must hold exactly the keys the
+// join partitioner maps to bucket b, with bucket b resident in vault b on
+// the vault-partitioned architectures. Join calls it after its two
+// partition phases; plan execution calls it directly when an upstream
+// operator's output is already co-partitioned, eliding the re-shuffle.
+func JoinProbe(e *engine.Engine, cfg Config, rBuckets, sBuckets []*engine.Region) (*JoinResult, error) {
+	cm := cfg.Costs
+	res := &JoinResult{}
 	t1 := e.TotalNs()
 	e.BeginPhase("probe")
 	defer e.EndPhase()
 
+	var err error
 	if cfg.SortProbe {
-		err = joinSortMergeProbe(e, cm, rPart.Buckets, sPart.Buckets, res)
+		err = joinSortMergeProbe(e, cm, rBuckets, sBuckets, res)
 	} else {
-		err = joinHashProbe(e, cfg, rPart.Buckets, sPart.Buckets, res)
+		err = joinHashProbe(e, cfg, rBuckets, sBuckets, res)
 	}
 	if err != nil {
 		return nil, err

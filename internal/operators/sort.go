@@ -27,24 +27,8 @@ func Sort(e *engine.Engine, cfg Config, inputs []*engine.Region) (*SortResult, e
 	if err := checkInputs(e, inputs); err != nil {
 		return nil, err
 	}
-	cm := cfg.Costs
 	total := totalLen(inputs)
-	ks := cfg.KeySpace
-	if ks == 0 {
-		// Derive the key range from the data (real systems learn it
-		// from statistics; the scan is free here because the histogram
-		// step re-reads the data anyway).
-		for _, in := range inputs {
-			for _, t := range in.Tuples {
-				if uint64(t.Key) >= ks {
-					ks = uint64(t.Key) + 1
-				}
-			}
-		}
-		if ks == 0 {
-			ks = 1
-		}
-	}
+	ks := SortKeySpace(cfg, inputs)
 	part := Partitioner{
 		Buckets:  bucketCount(e, cfg, total),
 		KeySpace: ks,
@@ -55,7 +39,48 @@ func Sort(e *engine.Engine, cfg Config, inputs []*engine.Region) (*SortResult, e
 	if err != nil {
 		return nil, err
 	}
-	res := &SortResult{Partition: pres, PartitionNs: pres.Ns()}
+	res, err := SortProbe(e, cfg, pres.Buckets)
+	if err != nil {
+		return nil, err
+	}
+	res.Partition = pres
+	res.PartitionNs = pres.Ns()
+	return res, nil
+}
+
+// SortKeySpace returns the effective range-partitioner bound Sort uses:
+// the configured KeySpace, or, when that is zero, one past the largest key
+// present (real systems learn the range from statistics; the scan is free
+// here because the histogram step re-reads the data anyway). Plan
+// compilation calls it to decide whether an upstream range partition
+// already matches the one Sort would build.
+func SortKeySpace(cfg Config, inputs []*engine.Region) uint64 {
+	ks := cfg.KeySpace
+	if ks != 0 {
+		return ks
+	}
+	for _, in := range inputs {
+		for _, t := range in.Tuples {
+			if uint64(t.Key) >= ks {
+				ks = uint64(t.Key) + 1
+			}
+		}
+	}
+	if ks == 0 {
+		ks = 1
+	}
+	return ks
+}
+
+// SortProbe runs the local-sort probe phase over already range-partitioned
+// buckets: bucket i's keys must all precede bucket i+1's, with bucket b
+// resident in vault b on the vault-partitioned architectures. Sort calls
+// it after its partition phase; plan execution calls it directly when an
+// upstream operator's output already carries the matching range partition,
+// eliding the re-shuffle.
+func SortProbe(e *engine.Engine, cfg Config, buckets []*engine.Region) (*SortResult, error) {
+	cm := cfg.Costs
+	res := &SortResult{}
 	t1 := e.TotalNs()
 	e.BeginPhase("probe")
 	defer e.EndPhase()
@@ -64,19 +89,19 @@ func Sort(e *engine.Engine, cfg Config, inputs []*engine.Region) (*SortResult, e
 		// CPU probe: quicksort per probe group (consecutive range
 		// buckets form a contiguous key range, so group-local sorts
 		// still compose to a global order).
-		groups := probeGroups(e, cfg, pres.Buckets)
+		groups := probeGroups(e, cfg, buckets)
 		e.BeginStep(cm.QuicksortProfile)
 		for g, group := range groups {
 			regions := make([]*engine.Region, len(group))
 			for i, b := range group {
-				regions[i] = pres.Buckets[b]
+				regions[i] = buckets[b]
 			}
 			quicksortSuper(unitForGroup(e, groups, g), cm, regions)
 		}
 		e.EndStep()
-		res.Sorted = pres.Buckets
+		res.Sorted = buckets
 	} else {
-		sorted, err := sortBuckets(e, cm, pres.Buckets)
+		sorted, err := sortBuckets(e, cm, buckets)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"github.com/ecocloud-go/mondrian/internal/engine"
+)
+
+// PartKind classifies an intermediate result's partitioning property.
+type PartKind int
+
+// The partitioning kinds physical lowering tracks.
+const (
+	// PartNone promises nothing about where keys live.
+	PartNone PartKind = iota
+	// PartHash: region b holds exactly the keys with key mod Buckets == b
+	// — the low-order-bits hash partition Join and Group by build.
+	PartHash
+	// PartRange: region b holds the keys of range bucket b of the
+	// high-bits split over [0, KeySpace) — the partition Sort builds.
+	PartRange
+)
+
+// Partitioning is the partitioning property of an intermediate result.
+// On the vault-partitioned architectures a property with Buckets equal to
+// the vault count additionally means region b is resident in vault b —
+// exactly the placement a fresh shuffle would establish — which is what
+// makes re-shuffle elision sound.
+type Partitioning struct {
+	Kind    PartKind
+	Buckets int
+	// KeySpace is the range split's exclusive key bound (PartRange only).
+	KeySpace uint64
+}
+
+// vaultFusion reports whether re-shuffle elision is available: only the
+// vault-partitioned architectures co-locate partition bucket b with vault
+// b's compute unit (the CPU's shared cores re-bucket at CPUBuckets
+// granularity every time), and Options.NoFusion turns it off to reproduce
+// the staged baseline.
+func (x *executor) vaultFusion() bool {
+	return !x.opts.NoFusion && x.e.Config().Arch != engine.CPU
+}
+
+// outPart is the partitioning property of an operator output whose
+// partition phase (or fused equivalent) placed bucket b in vault b. On
+// the CPU the buckets live wherever its shared cores put them, so the
+// output carries no property.
+func (x *executor) outPart(kind PartKind, ks uint64) Partitioning {
+	if x.e.Config().Arch == engine.CPU {
+		return Partitioning{}
+	}
+	return Partitioning{Kind: kind, Buckets: x.e.NumVaults(), KeySpace: ks}
+}
+
+// hashCompatible reports whether an input already carries the hash
+// partition a Join side needs: same bucket count, hash placement. A range
+// partition does not qualify — its buckets hold key intervals, not hash
+// classes.
+func hashCompatible(p Partitioning, buckets int) bool {
+	return p.Kind == PartHash && p.Buckets == buckets
+}
+
+// groupCompatible reports whether an input satisfies Group by's
+// requirement that every occurrence of a key lives in a single bucket —
+// either a hash or a range partition over the right bucket count does.
+func groupCompatible(p Partitioning, buckets int) bool {
+	return (p.Kind == PartHash || p.Kind == PartRange) && p.Buckets == buckets
+}
+
+// rangeCompatible reports whether an input already carries exactly the
+// range partition Sort would build: same bucket count and the same key
+// bound (a different bound draws different bucket boundaries).
+func rangeCompatible(p Partitioning, buckets int, ks uint64) bool {
+	return p.Kind == PartRange && p.Buckets == buckets && p.KeySpace == ks
+}

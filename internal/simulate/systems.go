@@ -88,6 +88,13 @@ type Params struct {
 	// estimate (0 = the operator default of 2×). Skewed workloads need
 	// more; skew-aware runs provision exactly and ignore the shortfall.
 	Overprovision float64
+	// NoFusion disables the query-plan compiler's re-shuffle elision:
+	// every plan stage re-partitions its inputs from scratch, reproducing
+	// staged one-operator-at-a-time execution. Output multisets are
+	// identical either way — fusion changes simulated cost, never
+	// results. Ignored by single-operator runs; plan manifests record it
+	// as a "+staged" operator suffix.
+	NoFusion bool
 	// Obs, when non-nil, enables the observability layer: Run collects
 	// every deterministic run statistic into this registry and populates
 	// Result.Phases/Spans. nil (the default) costs nothing. Excluded from

@@ -32,7 +32,7 @@ import (
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/mapreduce"
 	"github.com/ecocloud-go/mondrian/internal/operators"
-	"github.com/ecocloud-go/mondrian/internal/pipeline"
+	"github.com/ecocloud-go/mondrian/internal/plan"
 	"github.com/ecocloud-go/mondrian/internal/report"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 	"github.com/ecocloud-go/mondrian/internal/trace"
@@ -187,37 +187,51 @@ var ErrPartitionOverflow = operators.ErrPartitionOverflow
 
 // Reference oracles for output verification.
 var (
-	RefScan    = operators.RefScan
-	RefSort    = operators.RefSort
-	RefGroupBy = operators.RefGroupBy
-	RefJoin    = operators.RefJoin
-	Gather     = operators.Gather
+	RefScan          = operators.RefScan
+	RefSort          = operators.RefSort
+	RefGroupBy       = operators.RefGroupBy
+	RefGroupByTuples = operators.RefGroupByTuples
+	RefJoin          = operators.RefJoin
+	Gather           = operators.Gather
 )
 
-// --- query pipelines -----------------------------------------------------------
+// --- query plans ---------------------------------------------------------------
 
 // Plan nodes compose operators into multi-stage queries (see
-// internal/pipeline): PlanTable is a leaf of resident data; PlanFilter,
-// PlanJoin, PlanGroupBy and PlanSort wrap the basic operators.
+// internal/plan): PlanTable is a leaf of resident data; PlanFilter,
+// PlanJoin, PlanGroupBy and PlanSort wrap the basic operators;
+// PlanMultiJoin is a star-shaped join the compiler orders greedily.
+// Execution tracks each intermediate's partitioning property and elides
+// re-shuffles whose partition the input already carries; PlanOptions
+// turns the elision off to reproduce the staged baseline.
 type (
-	PlanNode       = pipeline.Node
-	PlanTable      = pipeline.Table
-	PlanFilter     = pipeline.Filter
-	PlanJoin       = pipeline.Join
-	PlanGroupBy    = pipeline.GroupBy
-	PlanSort       = pipeline.Sort
-	PipelineResult = pipeline.Result
+	PlanNode       = plan.Node
+	PlanTable      = plan.Table
+	PlanFilter     = plan.Filter
+	PlanJoin       = plan.Join
+	PlanMultiJoin  = plan.MultiJoin
+	PlanGroupBy    = plan.GroupBy
+	PlanSort       = plan.Sort
+	PlanOptions    = plan.Options
+	PlanStage      = plan.StageStats
+	PipelineResult = plan.Result
 )
 
-// RunPipeline executes a query plan on the engine.
+// RunPipeline executes a query plan on the engine with re-shuffle elision
+// enabled.
 func RunPipeline(e *Engine, cfg OperatorConfig, root PlanNode) (*PipelineResult, error) {
-	return pipeline.Run(e, cfg, root)
+	return plan.Run(e, cfg, root)
+}
+
+// RunPipelineWith executes a query plan under explicit options.
+func RunPipelineWith(e *Engine, cfg OperatorConfig, root PlanNode, opts PlanOptions) (*PipelineResult, error) {
+	return plan.RunWith(e, cfg, root, opts)
 }
 
 // Materialize compacts operator outputs into the canonical
 // one-region-per-vault layout.
 func Materialize(e *Engine, outs []*Region) ([]*Region, error) {
-	return pipeline.Materialize(e, outs)
+	return plan.Materialize(e, outs)
 }
 
 // --- MapReduce layer ---------------------------------------------------------
@@ -325,6 +339,32 @@ const (
 	OperatorGroupBy = simulate.OpGroupBy
 	OperatorJoin    = simulate.OpJoin
 )
+
+// QueryPlan identifies one of the registered multi-operator query shapes
+// the query-plan compiler lowers onto the operators.
+type QueryPlan = simulate.Plan
+
+// The registered query shapes.
+const (
+	QueryPlanFilterSort  = simulate.PlanFilterSort
+	QueryPlanSortAgg     = simulate.PlanSortAgg
+	QueryPlanJoinAgg     = simulate.PlanJoinAgg
+	QueryPlanJoinAggSort = simulate.PlanJoinAggSort
+	QueryPlanStarJoinAgg = simulate.PlanStarJoinAgg
+)
+
+// QueryPlans lists every registered query shape.
+func QueryPlans() []QueryPlan { return simulate.Plans() }
+
+// QueryPlanResult reports one (system, plan) experiment.
+type QueryPlanResult = simulate.PlanResult
+
+// RunQueryPlan compiles and executes one registered query shape on one
+// system, verifying its output against the composed operator references.
+// Params.NoFusion selects the staged baseline.
+func RunQueryPlan(s System, pl QueryPlan, p Params) (*QueryPlanResult, error) {
+	return simulate.RunPlan(s, pl, p)
+}
 
 // Params fixes an experimental setup.
 type Params = simulate.Params
