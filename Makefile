@@ -59,6 +59,9 @@ bench:
 	rm -f BENCH_PR8.json
 	$(GO) run ./cmd/mondrian-bench -small -plans -manifest BENCH_PR8.json
 	@echo wrote BENCH_PR8.json
+	rm -f BENCH_PR9.json
+	$(GO) run ./cmd/mondrian-bench -qps BENCH_PR9.json
+	@echo wrote BENCH_PR9.json
 
 # One-iteration smoke pass over every benchmark (CI keeps this fast),
 # plus a fresh manifest for the CI artifact upload.
@@ -68,20 +71,27 @@ bench-smoke:
 	$(GO) run ./cmd/mondrian-bench -small -manifest BENCH_PR5.json
 	rm -f BENCH_PR8.json
 	$(GO) run ./cmd/mondrian-bench -small -plans -manifest BENCH_PR8.json
+	rm -f BENCH_PR9.json
+	$(GO) run ./cmd/mondrian-bench -qps BENCH_PR9.json -qps-requests 64
 
 # Re-record the benchmark baseline (run on the reference machine;
 # benchguard skips when the CPU model differs): the disabled-metrics
-# overhead benchmark, the columnar kernel microbenchmarks, and the
-# fused/staged query-plan end-to-end runs.
+# overhead benchmark, the columnar kernel microbenchmarks, the
+# fused/staged query-plan end-to-end runs, and the pooled-lifecycle and
+# serve-scheduler benchmarks.
 bench-baseline:
 	( $(GO) test -bench='BenchmarkObsOverhead|BenchmarkPlanJoinAggSort' -benchtime=5x -run=^$$ . ; \
+	  $(GO) test -bench='BenchmarkPooledRun|BenchmarkServeQPS' -benchtime=100x -run=^$$ . ; \
 	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
 	  | $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
 
 # Fail if the nil-registry (observability disabled) path got >5% slower,
-# or any columnar kernel or query-plan run got >10% slower, than the
-# recorded baseline. Guard output stays out of the repo.
+# or any columnar kernel, query-plan run, or serve-scheduler batch got
+# >10% slower, than the recorded baseline. The pooled single-run bench
+# gets a looser 25% bound: a pooled run is sub-millisecond, so host
+# noise that washes out over a ServeQPS batch shows up directly there.
+# Guard output stays out of the repo.
 bench-guard:
 	$(GO) test -bench=BenchmarkObsOverhead -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_obs_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_obs_current.json
@@ -89,15 +99,19 @@ bench-guard:
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_cols_current.json -match '^BenchmarkColumnarKernel' -threshold 0.10
 	$(GO) test -bench=BenchmarkPlanJoinAggSort -benchtime=5x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_plan_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_plan_current.json -match '^BenchmarkPlanJoinAggSort' -threshold 0.10
+	$(GO) test -bench='BenchmarkPooledRun|BenchmarkServeQPS' -benchtime=100x -run=^$$ . | $(GO) run ./cmd/benchjson > /tmp/bench_serve_current.json
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_serve_current.json -match '^BenchmarkServeQPS' -threshold 0.10
+	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_serve_current.json -match '^BenchmarkPooledRun' -threshold 0.25
 
 # Print baseline-vs-current per-op ratios for every guarded benchmark
 # (no failure thresholds — a human-readable drift report).
 bench-compare:
 	( $(GO) test -bench='BenchmarkObsOverhead|BenchmarkPlanJoinAggSort' -benchtime=5x -run=^$$ . ; \
+	  $(GO) test -bench='BenchmarkPooledRun|BenchmarkServeQPS' -benchtime=100x -run=^$$ . ; \
 	  $(GO) test -bench=BenchmarkColumnarKernel -benchtime=20x -run=^$$ ./internal/tuple ) \
 	  | $(GO) run ./cmd/benchjson > /tmp/bench_compare_current.json
 	$(GO) run ./cmd/benchguard -baseline BENCH_BASELINE.json -current /tmp/bench_compare_current.json \
-	  -match '^Benchmark(ObsOverhead|ColumnarKernel|PlanJoinAggSort)' -report
+	  -match '^Benchmark(ObsOverhead|ColumnarKernel|PlanJoinAggSort|PooledRun|ServeQPS)' -report
 
 # ci mirrors .github/workflows/ci.yml: tier-1 build+vet+test, then the race pass.
 ci: test vet race

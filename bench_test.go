@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"github.com/ecocloud-go/mondrian/internal/dram"
 	"github.com/ecocloud-go/mondrian/internal/engine"
 	"github.com/ecocloud-go/mondrian/internal/obs"
 	"github.com/ecocloud-go/mondrian/internal/operators"
+	"github.com/ecocloud-go/mondrian/internal/serve"
 	"github.com/ecocloud-go/mondrian/internal/simulate"
 	"github.com/ecocloud-go/mondrian/internal/tuple"
 	"github.com/ecocloud-go/mondrian/internal/workload"
@@ -652,4 +654,83 @@ func BenchmarkAblationSchedulerWindow(b *testing.B) {
 			b.ReportMetric(dev.Stats().RowHitRate()*100, "row-hit-pct")
 		}
 	})
+}
+
+// servingParams is the engine-as-a-service regime: the paper's full
+// system shapes with many small queries, where engine construction —
+// not per-query work — dominates a rebuild-per-run lifecycle (DESIGN.md
+// §16).
+func servingParams() simulate.Params {
+	p := simulate.DefaultParams()
+	p.STuples = 1 << 10
+	p.RTuples = 1 << 9
+	p.KeySpace = 1 << 16
+	p.CPUBuckets = 1 << 8
+	return p
+}
+
+// BenchmarkPooledRun measures one scan query under the two engine
+// lifecycles the serving tier can use: drawing a reset engine from the
+// shared pool (the default) versus constructing a fresh engine per run
+// (NoPool). The gap is the amortized-construction win that BENCH_PR9
+// records end to end; TestResetEquivalence pins that the simulated
+// numbers are byte-identical either way.
+func BenchmarkPooledRun(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{{"pooled", false}, {"fresh", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p := servingParams()
+			p.NoPool = mode.noPool
+			// Warm the pool (and allocator) outside the timer.
+			if _, err := simulate.Run(simulate.CPU, simulate.OpScan, p); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := simulate.Run(simulate.CPU, simulate.OpScan, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeQPS pushes a multi-tenant batch of scan queries through
+// the serve scheduler — weighted-fair queues, admission control, pooled
+// engines — and reports sustained queries per second. One iteration is
+// one full batch: 8 tenants round-robining over every system shape.
+func BenchmarkServeQPS(b *testing.B) {
+	const requests, tenants = 64, 8
+	p := servingParams()
+	systems := simulate.Systems()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var qps float64
+	for i := 0; i < b.N; i++ {
+		s := serve.New(serve.Config{Workers: runtime.GOMAXPROCS(0), QueueDepth: requests})
+		start := time.Now()
+		tickets := make([]*serve.Ticket, requests)
+		for j := range tickets {
+			tk, err := s.Submit(fmt.Sprintf("tenant-%d", j%tenants), serve.Request{
+				System:   systems[j%len(systems)],
+				Operator: simulate.OpScan,
+				Params:   p,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tickets[j] = tk
+		}
+		for _, tk := range tickets {
+			if r := tk.Wait(); r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		qps = float64(requests) / time.Since(start).Seconds()
+		s.Close()
+	}
+	b.ReportMetric(qps, "qps")
 }

@@ -84,6 +84,8 @@ func run() error {
 		par      = flag.Int("parallelism", defaults.Parallelism, "host worker pool (0 = GOMAXPROCS, 1 = serial)")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		steps    = flag.Bool("steps", false, "print the per-step timeline")
+		repeat   = flag.Int("repeat", 1, "re-run the same request N times on one pooled engine and report the amortized construction overhead per run")
+		noPool   = flag.Bool("no-pool", defaults.NoPool, "construct a fresh engine per run instead of drawing a reset one from the engine pool; simulated results are byte-identical")
 
 		// Skew knobs. -skew-aware defaults to the MONDRIAN_SKEW_AWARE
 		// environment override so the flag and variable compose.
@@ -143,6 +145,7 @@ func run() error {
 	p.ZipfS = *zipfS
 	p.Overprovision = *overprov
 	p.NoFusion = *staged
+	p.NoPool = *noPool
 	if *cpuCores != 0 {
 		p.CPUCores = *cpuCores
 	}
@@ -152,7 +155,17 @@ func run() error {
 		p.Obs = obs.NewRegistry()
 	}
 	if isPlan {
-		return runPlan(sys, pl, p, *steps, *spans, *metricsOut, *promOut)
+		wall, err := runPlan(sys, pl, p, *steps, *spans, *metricsOut, *promOut)
+		if err != nil {
+			return err
+		}
+		return repeatReport(*repeat, wall, func() (time.Duration, error) {
+			rp := p
+			rp.Obs = nil
+			t0 := time.Now()
+			_, err := simulate.RunPlan(sys, pl, rp)
+			return time.Since(t0), err
+		})
 	}
 	start := time.Now()
 	res, err := simulate.Run(sys, op, p)
@@ -194,8 +207,15 @@ func run() error {
 		}
 	}
 
+	rerun := func() (time.Duration, error) {
+		rp := p
+		rp.Obs = nil
+		t0 := time.Now()
+		_, err := simulate.Run(sys, op, rp)
+		return time.Since(t0), err
+	}
 	if !observing {
-		return nil
+		return repeatReport(*repeat, wall, rerun)
 	}
 	m := simulate.BuildManifest(res, p, *spans)
 	m.Host.WallNs = wall.Nanoseconds()
@@ -220,17 +240,49 @@ func run() error {
 			return err
 		}
 	}
+	return repeatReport(*repeat, wall, rerun)
+}
+
+// repeatReport re-runs the request n-1 more times and prints the pooled
+// lifecycle's amortization summary. The first run paid engine
+// construction (a pool miss); steady-state runs draw a reset engine from
+// the pool, so the first-vs-steady difference is the construction
+// overhead pooling amortizes away. With -no-pool every run pays it
+// again, which makes the two modes directly comparable.
+func repeatReport(n int, first time.Duration, rerun func() (time.Duration, error)) error {
+	if n <= 1 {
+		return nil
+	}
+	var steady time.Duration
+	for i := 1; i < n; i++ {
+		d, err := rerun()
+		if err != nil {
+			return err
+		}
+		steady += d
+	}
+	mean := steady / time.Duration(n-1)
+	over := first - mean
+	if over < 0 {
+		over = 0
+	}
+	st := simulate.PoolStats()
+	fmt.Printf("\nrepeat: %d runs — first %.3f ms, steady-state mean %.3f ms\n",
+		n, float64(first.Nanoseconds())/1e6, float64(mean.Nanoseconds())/1e6)
+	fmt.Printf("construction overhead: %.3f ms once, %.3f ms amortized per run (engine pool: %d hits, %d misses)\n",
+		float64(over.Nanoseconds())/1e6, float64(over.Nanoseconds())/1e6/float64(n), st.Hits, st.Misses)
 	return nil
 }
 
-// runPlan executes a compiled query plan and prints the per-stage report.
+// runPlan executes a compiled query plan and prints the per-stage
+// report, returning the first run's host wall time.
 func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
-	steps, spans bool, metricsOut, promOut string) error {
+	steps, spans bool, metricsOut, promOut string) (time.Duration, error) {
 	start := time.Now()
 	res, err := simulate.RunPlan(sys, pl, p)
 	wall := time.Since(start)
 	if err != nil {
-		return err
+		return wall, err
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
@@ -260,7 +312,7 @@ func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
 	fmt.Fprintf(w, "bytes moved\t%d\n", res.DRAM.TotalBytes())
 	fmt.Fprintf(w, "energy\t%s\n", res.Energy)
 	if err := w.Flush(); err != nil {
-		return err
+		return wall, err
 	}
 
 	if steps {
@@ -275,7 +327,7 @@ func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
 	}
 
 	if p.Obs == nil {
-		return nil
+		return wall, nil
 	}
 	m := simulate.BuildPlanManifest(res, p, spans)
 	m.Host.WallNs = wall.Nanoseconds()
@@ -283,22 +335,22 @@ func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
 	if spans {
 		fmt.Println("\nspan tree (simulated time):")
 		if err := res.Spans.WriteTree(os.Stdout, 2); err != nil {
-			return err
+			return wall, err
 		}
 	}
 	if metricsOut != "" {
 		if err := cliio.WriteFile(metricsOut, func(w io.Writer) error {
 			return m.WriteJSON(w)
 		}); err != nil {
-			return err
+			return wall, err
 		}
 	}
 	if promOut != "" {
 		if err := cliio.WriteFile(promOut, func(w io.Writer) error {
 			return obs.WritePrometheus(w, p.Obs)
 		}); err != nil {
-			return err
+			return wall, err
 		}
 	}
-	return nil
+	return wall, nil
 }

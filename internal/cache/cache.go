@@ -53,7 +53,14 @@ func (s Stats) HitRate() float64 {
 }
 
 type line struct {
-	tag        int64
+	tag int64
+	// gen stamps the Cache generation the line was filled in; a line is
+	// live only when valid and stamped with the current generation, so
+	// Reset and Flush can invalidate the whole cache by bumping the
+	// generation instead of clearing every line (pooled engines reset
+	// between every run — an O(size) wipe there is the difference
+	// between a cheap lifecycle and re-zeroing megabytes per query).
+	gen        uint64
 	valid      bool
 	dirty      bool
 	prefetched bool
@@ -65,6 +72,7 @@ type Cache struct {
 	cfg   Config
 	sets  [][]line
 	nsets int
+	gen   uint64
 	tick  uint64
 	stats Stats
 
@@ -130,6 +138,17 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears statistics but keeps cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset restores the cache to its just-constructed state: every line
+// invalidated, statistics and the LRU clock zeroed. Unlike Flush it models
+// no hardware event — dirty lines are dropped without writebacks and
+// without counting evictions — so a reset cache is indistinguishable from
+// a fresh New(cfg). The reusable scratch buffers keep their capacity.
+func (c *Cache) Reset() {
+	c.gen++
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Flush invalidates the whole cache, returning the block addresses of all
 // dirty lines (which a memory system must write back).
 func (c *Cache) Flush() []int64 {
@@ -137,13 +156,13 @@ func (c *Cache) Flush() []int64 {
 	for si := range c.sets {
 		for wi := range c.sets[si] {
 			l := &c.sets[si][wi]
-			if l.valid && l.dirty {
+			if l.valid && l.gen == c.gen && l.dirty {
 				wbs = append(wbs, c.blockAddr(si, l.tag))
 				c.stats.DirtyEvictions++
 			}
-			*l = line{}
 		}
 	}
+	c.gen++
 	return wbs
 }
 
@@ -369,7 +388,7 @@ func (c *Cache) AccessHitRun(addr int64, count int, write bool) bool {
 func (c *Cache) lookup(set int, tag int64) *line {
 	for wi := range c.sets[set] {
 		l := &c.sets[set][wi]
-		if l.valid && l.tag == tag {
+		if l.valid && l.gen == c.gen && l.tag == tag {
 			return l
 		}
 	}
@@ -382,7 +401,7 @@ func (c *Cache) insert(set int, tag int64, dirty, prefetched bool) (writeback in
 	victim := 0
 	for wi := range c.sets[set] {
 		l := &c.sets[set][wi]
-		if !l.valid {
+		if !l.valid || l.gen != c.gen {
 			victim = wi
 			break
 		}
@@ -391,11 +410,11 @@ func (c *Cache) insert(set int, tag int64, dirty, prefetched bool) (writeback in
 		}
 	}
 	v := &c.sets[set][victim]
-	if v.valid && v.dirty {
+	if v.valid && v.gen == c.gen && v.dirty {
 		writeback = c.blockAddr(set, v.tag)
 		dirtyEvict = true
 		c.stats.DirtyEvictions++
 	}
-	*v = line{tag: tag, valid: true, dirty: dirty, prefetched: prefetched, lastUse: c.tick}
+	*v = line{tag: tag, gen: c.gen, valid: true, dirty: dirty, prefetched: prefetched, lastUse: c.tick}
 	return writeback, dirtyEvict
 }

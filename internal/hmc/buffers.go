@@ -54,6 +54,14 @@ func (b *ObjectBuffer) Push(n int) int {
 // Pending returns bytes buffered but not yet drained.
 func (b *ObjectBuffer) Pending() int { return b.pending }
 
+// Reset restores the buffer to its just-constructed state: pending data
+// dropped, counters zeroed. Part of the engine's pooled-lifecycle reset.
+func (b *ObjectBuffer) Reset() {
+	b.pending = 0
+	b.Flushes = 0
+	b.Pushes = 0
+}
+
 // Drain flushes a final partial object (end of the partitioning loop),
 // returning its size in bytes (0 if empty).
 func (b *ObjectBuffer) Drain() int {
@@ -120,6 +128,14 @@ func NewStreamBufferSetN(v *Vault, n int) *StreamBufferSet {
 
 // Buffers returns how many stream buffers the set provides.
 func (s *StreamBufferSet) Buffers() int { return s.bufs }
+
+// Reset restores the set to its just-constructed state: all streams
+// untied and the fill counter zeroed. The stream storage keeps its
+// capacity, so a reset set reaches Configure's steady state allocation-free.
+func (s *StreamBufferSet) Reset() {
+	s.streams = s.streams[:0]
+	s.FillBytes = 0
+}
 
 // Configure ties up to Buffers() address ranges to the buffers
 // (prefetch_in_str_buf in Fig. 4b) and primes each with its initial fill.

@@ -1,0 +1,429 @@
+// Package serve runs the simulator as a shared service: many tenants
+// submit (system, operator) or plan experiments, and a scheduler
+// multiplexes them over a bounded worker set that draws reset engines
+// from the simulate layer's pool instead of constructing one per query.
+//
+// Three policies shape the service (DESIGN.md §16):
+//
+//   - Admission control is reject-not-queue: a request whose simulated
+//     memory system would push the aggregate vault-capacity footprint of
+//     queued-plus-running work past the configured budget is refused
+//     immediately with a typed *ErrAdmission, never parked in an
+//     unbounded overflow queue. Per-tenant queue depth is bounded the
+//     same way.
+//   - Dispatch is weighted fair queueing by stride scheduling: each
+//     tenant advances a virtual-time pass by 1/weight per dispatched
+//     run, and the scheduler always serves the backlogged tenant with
+//     the smallest pass (ties break on tenant name, so the order is
+//     deterministic). Within one tenant, higher Priority first, then
+//     submission order.
+//   - Observability is per-tenant: runs, simulated nanoseconds, exchange
+//     bytes, queue-wait histograms and admission rejects land on the
+//     configured registry under a tenant label. The registry is not
+//     internally synchronized, so every update happens under the
+//     scheduler mutex.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ecocloud-go/mondrian/internal/obs"
+	"github.com/ecocloud-go/mondrian/internal/simulate"
+)
+
+// DefaultQueueDepth bounds each tenant's queue when Config.QueueDepth
+// is unset.
+const DefaultQueueDepth = 64
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: scheduler closed")
+
+// ErrAdmission reports a request refused at the door. It is a typed
+// error (match with errors.As) so callers can tell a capacity refusal —
+// retry later, against a different deployment, or with a smaller
+// configuration — from a malformed request.
+type ErrAdmission struct {
+	// Tenant is the submitting tenant.
+	Tenant string
+	// Reason says which limit refused the request.
+	Reason string
+	// FootprintBytes is the request's own vault-capacity footprint;
+	// BudgetBytes the scheduler's aggregate budget (0 = unlimited).
+	FootprintBytes int64
+	BudgetBytes    int64
+}
+
+// Error implements error.
+func (e *ErrAdmission) Error() string {
+	return fmt.Sprintf("serve: tenant %q refused: %s (request footprint %d B, budget %d B)",
+		e.Tenant, e.Reason, e.FootprintBytes, e.BudgetBytes)
+}
+
+// Request is one experiment submission. IsPlan selects the compiled-plan
+// path (Plan) over the single-operator path (Operator).
+type Request struct {
+	System   simulate.System
+	Operator simulate.Operator
+	Plan     simulate.Plan
+	IsPlan   bool
+	Params   simulate.Params
+	// Priority orders runs within one tenant: higher first, ties in
+	// submission order. It never preempts fairness across tenants.
+	Priority int
+}
+
+// Response is one completed submission. Exactly one of Result/PlanResult
+// is set on success; Err carries validation or simulation failures.
+type Response struct {
+	Result     *simulate.Result
+	PlanResult *simulate.PlanResult
+	Err        error
+	// QueueNs is host time spent queued before dispatch.
+	QueueNs int64
+}
+
+// Ticket is the caller's handle on a submitted request.
+type Ticket struct {
+	done chan struct{}
+	resp Response
+}
+
+// Done is closed when the response is ready.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Wait blocks until the response is ready and returns it.
+func (t *Ticket) Wait() Response {
+	<-t.done
+	return t.resp
+}
+
+// Config shapes a Scheduler.
+type Config struct {
+	// Workers is the number of goroutines executing runs. 0 means no
+	// background workers: requests queue until someone drives
+	// dispatchNext, the deterministic mode the policy tests use.
+	Workers int
+	// QueueDepth bounds each tenant's queue (0 = DefaultQueueDepth).
+	QueueDepth int
+	// FootprintBudgetBytes bounds the aggregate simulated vault
+	// capacity (Cubes × VaultsPer × VaultCapBytes summed over queued
+	// and running requests) the scheduler will hold at once. 0 means
+	// unlimited.
+	FootprintBudgetBytes int64
+	// Obs, when non-nil, receives the per-tenant service metrics.
+	Obs *obs.Registry
+	// HarvestExchange additionally attaches a private engine registry to
+	// every run that does not bring its own, so tenant_exchange_bytes is
+	// populated. Off by default: engine-level metric collection costs
+	// real host time per run, which a throughput-focused deployment
+	// keeps off the hot path.
+	HarvestExchange bool
+}
+
+// item is one queued request.
+type item struct {
+	tenant    string
+	req       Request
+	ticket    *Ticket
+	footprint int64
+	seq       uint64
+	enqueued  time.Time
+}
+
+// tenantState is one tenant's queue and stride-scheduling state.
+type tenantState struct {
+	name   string
+	weight int
+	pass   float64
+	queue  []*item
+}
+
+// Scheduler is the multi-tenant run scheduler. Create with New, submit
+// with Submit, shut down with Close.
+type Scheduler struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	tenants   map[string]*tenantState
+	queued    int
+	footprint int64 // reserved bytes: queued + running requests
+	seq       uint64
+	basePass  float64 // virtual time: pass of the last dispatched tenant
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// New builds a scheduler and starts cfg.Workers workers.
+func New(cfg Config) *Scheduler {
+	s := &Scheduler{cfg: cfg, tenants: make(map[string]*tenantState)}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// footprintBytes is the admission-control unit: the simulated DRAM
+// capacity a request's memory system spans. It is a property of the
+// system shape, not the dataset — the engine owns every vault it is
+// built with for the whole run.
+func footprintBytes(p simulate.Params) int64 {
+	if p.Cubes <= 0 || p.VaultsPer <= 0 || p.VaultCapBytes <= 0 {
+		return 0
+	}
+	return int64(p.Cubes) * int64(p.VaultsPer) * p.VaultCapBytes
+}
+
+// SetTenantWeight sets a tenant's fair-share weight (minimum 1; new
+// tenants default to 1). A tenant with weight w receives w times the
+// dispatch share of a weight-1 tenant under contention.
+func (s *Scheduler) SetTenantWeight(tenant string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	s.mu.Lock()
+	s.tenantLocked(tenant).weight = weight
+	s.mu.Unlock()
+}
+
+// Footprint returns the aggregate vault-capacity footprint currently
+// reserved by queued and running requests.
+func (s *Scheduler) Footprint() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.footprint
+}
+
+// Submit enqueues one request for tenant. It returns a Ticket to wait
+// on, or an *ErrAdmission if a capacity bound refuses the request, or
+// ErrClosed after Close. Submit never blocks on queue pressure.
+func (s *Scheduler) Submit(tenant string, req Request) (*Ticket, error) {
+	fp := footprintBytes(req.Params)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t := s.tenantLocked(tenant)
+	depth := s.cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	if len(t.queue) >= depth {
+		s.rejectLocked(tenant)
+		s.mu.Unlock()
+		return nil, &ErrAdmission{
+			Tenant: tenant, Reason: fmt.Sprintf("tenant queue depth %d reached", depth),
+			FootprintBytes: fp, BudgetBytes: s.cfg.FootprintBudgetBytes,
+		}
+	}
+	if b := s.cfg.FootprintBudgetBytes; b > 0 && s.footprint+fp > b {
+		s.rejectLocked(tenant)
+		s.mu.Unlock()
+		return nil, &ErrAdmission{
+			Tenant: tenant, Reason: "aggregate vault-capacity footprint budget exceeded",
+			FootprintBytes: fp, BudgetBytes: b,
+		}
+	}
+	s.footprint += fp
+	if len(t.queue) == 0 && t.pass < s.basePass {
+		// Activation catch-up: a tenant returning from idle joins at the
+		// current virtual time instead of replaying its idle period.
+		t.pass = s.basePass
+	}
+	s.seq++
+	it := &item{
+		tenant: tenant, req: req, footprint: fp, seq: s.seq,
+		enqueued: time.Now(), ticket: &Ticket{done: make(chan struct{})},
+	}
+	t.queue = append(t.queue, it)
+	s.queued++
+	s.cond.Signal()
+	s.mu.Unlock()
+	return it.ticket, nil
+}
+
+// Close stops admission, fails every still-queued request with
+// ErrClosed, and waits for in-flight runs to finish. Callers who want
+// their submitted work completed wait on their tickets before closing.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	var cancelled []*item
+	for _, t := range s.tenants {
+		cancelled = append(cancelled, t.queue...)
+		t.queue = nil
+	}
+	for _, it := range cancelled {
+		s.footprint -= it.footprint
+	}
+	s.queued = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, it := range cancelled {
+		it.ticket.resp = Response{Err: ErrClosed}
+		close(it.ticket.done)
+	}
+	s.wg.Wait()
+}
+
+// tenantLocked returns (creating if needed) a tenant's state.
+func (s *Scheduler) tenantLocked(name string) *tenantState {
+	t := s.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name, weight: 1}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// rejectLocked counts one admission refusal.
+func (s *Scheduler) rejectLocked(tenant string) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Counter(obs.Label("tenant_admission_rejects", "tenant", tenant)).Inc()
+	}
+}
+
+// popLocked removes and returns the next item under the fairness policy:
+// the backlogged tenant with the smallest pass (ties on name), then that
+// tenant's highest-priority oldest request. Caller holds the mutex and
+// has checked queued > 0.
+func (s *Scheduler) popLocked() *item {
+	var best *tenantState
+	for _, t := range s.tenants {
+		if len(t.queue) == 0 {
+			continue
+		}
+		if best == nil || t.pass < best.pass || (t.pass == best.pass && t.name < best.name) {
+			best = t
+		}
+	}
+	bi := 0
+	for i, it := range best.queue[1:] {
+		cur := best.queue[bi]
+		if it.req.Priority > cur.req.Priority ||
+			(it.req.Priority == cur.req.Priority && it.seq < cur.seq) {
+			bi = i + 1
+		}
+	}
+	it := best.queue[bi]
+	best.queue = append(best.queue[:bi], best.queue[bi+1:]...)
+	s.queued--
+	s.basePass = best.pass
+	best.pass += 1 / float64(best.weight)
+	return it
+}
+
+// worker is one background executor: pop under the fairness policy, run,
+// account, repeat until closed.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for !s.closed && s.queued == 0 {
+			s.cond.Wait()
+		}
+		if s.queued == 0 {
+			// closed, and Close already cancelled the queues
+			s.mu.Unlock()
+			return
+		}
+		it := s.popLocked()
+		s.mu.Unlock()
+		s.execute(it)
+	}
+}
+
+// dispatchNext pops and executes one request on the calling goroutine.
+// It returns false when every queue is empty. With Config.Workers == 0
+// this is the only executor, which makes dispatch order — and therefore
+// the fairness policy — directly observable in tests.
+func (s *Scheduler) dispatchNext() bool {
+	s.mu.Lock()
+	if s.queued == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	it := s.popLocked()
+	s.mu.Unlock()
+	s.execute(it)
+	return true
+}
+
+// execute runs one dequeued item to completion: simulate, release the
+// footprint reservation, account per-tenant metrics, resolve the ticket.
+func (s *Scheduler) execute(it *item) {
+	resp := Response{QueueNs: time.Since(it.enqueued).Nanoseconds()}
+	p := it.req.Params
+	// Harvest engine-level statistics (exchange bytes) through a private
+	// registry when the caller did not bring one — then strip the
+	// obs-derived report fields again so a served Result stays
+	// byte-identical to a direct simulate.Run of the same request.
+	var priv *obs.Registry
+	if s.cfg.Obs != nil && s.cfg.HarvestExchange && p.Obs == nil {
+		priv = obs.NewRegistry()
+		p.Obs = priv
+	}
+	if it.req.IsPlan {
+		r, err := simulate.RunPlan(it.req.System, it.req.Plan, p)
+		if r != nil && priv != nil {
+			r.Phases, r.Spans = nil, nil
+		}
+		resp.PlanResult, resp.Err = r, err
+	} else {
+		r, err := simulate.Run(it.req.System, it.req.Operator, p)
+		if r != nil && priv != nil {
+			r.Phases, r.Spans = nil, nil
+		}
+		resp.Result, resp.Err = r, err
+	}
+
+	s.mu.Lock()
+	s.footprint -= it.footprint
+	s.accountLocked(it, &resp, priv)
+	s.mu.Unlock()
+
+	it.ticket.resp = resp
+	close(it.ticket.done)
+}
+
+// queueWaitBounds buckets host queue-wait times from 1 µs to 10 s.
+var queueWaitBounds = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// accountLocked lands one completed run on the per-tenant metrics. The
+// obs registry is single-owner by contract, so the scheduler mutex is
+// what serializes these updates.
+func (s *Scheduler) accountLocked(it *item, resp *Response, priv *obs.Registry) {
+	reg := s.cfg.Obs
+	if reg == nil {
+		return
+	}
+	label := func(name string) string { return obs.Label(name, "tenant", it.tenant) }
+	reg.Counter(label("tenant_runs")).Inc()
+	reg.Histogram(label("tenant_queue_wait_ns"), queueWaitBounds).Observe(float64(resp.QueueNs))
+	if resp.Err != nil {
+		reg.Counter(label("tenant_errors")).Inc()
+		return
+	}
+	var simNs float64
+	switch {
+	case resp.Result != nil:
+		simNs = resp.Result.TotalNs
+	case resp.PlanResult != nil:
+		simNs = resp.PlanResult.TotalNs
+	}
+	reg.Gauge(label("tenant_sim_ns")).Add(simNs)
+	if priv != nil {
+		reg.Counter(label("tenant_exchange_bytes")).Add(priv.Counter("exchange_bytes").Value())
+	}
+}

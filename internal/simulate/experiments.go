@@ -15,7 +15,10 @@ import (
 //	Fig. 9  — efficiency (performance/energy) improvement vs CPU
 
 // Suite memoizes experiment runs so the figures share the underlying
-// (system, operator) results instead of re-simulating them.
+// (system, operator) results instead of re-simulating them. Cache misses
+// go through Run and therefore the shared engine pool (pool.go): a full
+// sweep constructs each system's engine once and reuses it across the
+// four operators instead of rebuilding it per cell.
 type Suite struct {
 	Params Params
 	cache  map[System]map[Operator]*Result

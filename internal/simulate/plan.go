@@ -182,12 +182,21 @@ func dimRelation(n int) *tuple.Relation {
 }
 
 // runPlan is the unguarded experiment body; RunPlan wraps it in validation
-// and the recovery boundary.
+// and the recovery boundary. Engine lifecycle matches run (run.go): pooled
+// acquire, release on non-panicking returns.
 func runPlan(s System, pl Plan, p Params) (*PlanResult, error) {
-	e, err := engine.New(p.EngineConfig(s))
+	e, release, err := acquireEngine(p, s)
 	if err != nil {
 		return nil, err
 	}
+	res, err := runPlanOn(e, s, pl, p)
+	release()
+	return res, err
+}
+
+// runPlanOn executes one compiled-plan experiment on the given pristine
+// engine.
+func runPlanOn(e *engine.Engine, s System, pl Plan, p Params) (*PlanResult, error) {
 	opCfg := p.OperatorConfig(s)
 	res := &PlanResult{System: s, Plan: pl}
 

@@ -144,12 +144,26 @@ func Run(s System, op Operator, p Params) (*Result, error) {
 }
 
 // run is the unguarded experiment body; Run wraps it in validation and the
-// recovery boundary.
+// recovery boundary. It draws its engine from the shared pool (pool.go)
+// unless Params.NoPool opts out, and releases it on every non-panicking
+// return — a panic abandons the engine to the garbage collector instead
+// of recycling unknowable state.
 func run(s System, op Operator, p Params) (*Result, error) {
-	e, err := engine.New(p.EngineConfig(s))
+	e, release, err := acquireEngine(p, s)
 	if err != nil {
 		return nil, err
 	}
+	res, err := runOn(e, s, op, p)
+	release()
+	return res, err
+}
+
+// runOn executes one operator experiment on the given pristine engine.
+// The returned Result aliases no engine state that outlives the run's
+// release: Reset replaces (rather than truncates) the step, phase and
+// exchange slices, so the result's views stay intact after the engine is
+// recycled.
+func runOn(e *engine.Engine, s System, op Operator, p Params) (*Result, error) {
 	opCfg := p.OperatorConfig(s)
 	res := &Result{System: s, Operator: op}
 

@@ -79,6 +79,14 @@ type Params struct {
 	// behaviour change. Ignored when NoBulk forces the reference loops.
 	// Overridable with the MONDRIAN_COLUMNAR environment variable.
 	Columnar bool
+	// NoPool disables engine pooling: every run constructs a fresh engine
+	// with engine.New and discards it, the pre-PR-9 lifecycle. Pooling
+	// (the default) acquires a reset engine from the shared pool and
+	// releases it after the run; like Parallelism/NoBulk/Columnar it is a
+	// host-execution choice only — report JSON is byte-identical either
+	// way (TestResetEquivalence asserts it). Overridable with the
+	// MONDRIAN_NO_POOL environment variable.
+	NoPool bool
 	// ZipfS selects skewed workloads: 0 (the default) keeps the uniform
 	// generators; a finite exponent > 1 draws the Scan/Sort/Group-by
 	// input keys (and the Join probe relation's foreign keys) from a
@@ -110,6 +118,7 @@ func DefaultParams() Params {
 		NoBulk:        envNoBulk(),
 		SkewAware:     envSkewAware(),
 		Columnar:      envColumnar(),
+		NoPool:        envNoPool(),
 		Cubes:         4,
 		VaultsPer:     16,
 		CPUCores:      16,
@@ -209,6 +218,22 @@ func envColumnar() bool {
 	b, err := strconv.ParseBool(v)
 	if err != nil {
 		fmt.Fprintf(envWarnOut, "mondrian: MONDRIAN_COLUMNAR=%q is not a boolean; treating as set (columnar kernels enabled)\n", v)
+		return true
+	}
+	return b
+}
+
+// envNoPool reads the MONDRIAN_NO_POOL override. Boolean spellings parse
+// as usual; anything else non-empty means "set" (engine pooling disabled)
+// but is reported with a one-line warning naming the variable and value.
+func envNoPool() bool {
+	v := os.Getenv("MONDRIAN_NO_POOL")
+	if v == "" {
+		return false
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		fmt.Fprintf(envWarnOut, "mondrian: MONDRIAN_NO_POOL=%q is not a boolean; treating as set (engine pooling disabled)\n", v)
 		return true
 	}
 	return b
