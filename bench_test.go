@@ -569,6 +569,51 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkObsWindowOverhead prices one observation on the serving
+// tier's live-metrics path: recording a latency sample into a rolling
+// window (bucket search + slot update) versus bumping a plain registry
+// counter, plus the SLO tracker's classify-and-count. The scheduler does
+// all three under its mutex on every completed request, so the per-op
+// cost bounds the live-observability tax on serving throughput.
+// cmd/benchguard holds the window number to within 10% of the recorded
+// BENCH_BASELINE.json. Each iteration records a 1000-sample batch so the
+// per-op time sits at microsecond scale, where the guard's 10% bound is
+// meaningful; divide ns/op by obsWindowBatch for the per-record cost.
+func BenchmarkObsWindowOverhead(b *testing.B) {
+	const obsWindowBatch = 1000
+	bounds := []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+	b.Run("window", func(b *testing.B) {
+		w := obs.NewWindow(12, bounds)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < obsWindowBatch; j++ {
+				w.Record(float64(j) * 1e6)
+			}
+		}
+		if w.Count() == 0 {
+			b.Fatal("window empty")
+		}
+	})
+	b.Run("counter", func(b *testing.B) {
+		c := obs.NewRegistry().Counter("runs")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < obsWindowBatch; j++ {
+				c.Inc()
+			}
+		}
+	})
+	b.Run("slo", func(b *testing.B) {
+		tr := obs.NewSLOTracker(12, obs.SLO{TargetNs: 5e7, Objective: 0.99})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < obsWindowBatch; j++ {
+				tr.Record(float64(j) * 1e6)
+			}
+		}
+	})
+}
+
 // BenchmarkPlanJoinAggSort times the compiled three-stage query
 //
 //	SORT( GROUPBY( R ⋈ S ) )

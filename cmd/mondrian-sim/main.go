@@ -102,6 +102,7 @@ func run() error {
 		metricsOut = flag.String("metrics", "", "write the JSON run manifest to `file` (\"-\" = stdout)")
 		promOut    = flag.String("prom", "", "write the metrics in Prometheus text format to `file` (\"-\" = stdout)")
 		spans      = flag.Bool("spans", false, "collect the simulated-time span tree: print it and embed it in -metrics")
+		chromeOut  = flag.String("chrome-trace", "", "write the span tree as Chrome trace_event JSON to `file` (\"-\" = stdout); open in Perfetto or chrome://tracing")
 
 		// Spec overrides: derive a custom variant of -system.
 		topo       = flag.String("topology", "", "override the inter-cube topology: star or full")
@@ -150,12 +151,12 @@ func run() error {
 		p.CPUCores = *cpuCores
 	}
 
-	observing := *metricsOut != "" || *promOut != "" || *spans
+	observing := *metricsOut != "" || *promOut != "" || *spans || *chromeOut != ""
 	if observing {
 		p.Obs = obs.NewRegistry()
 	}
 	if isPlan {
-		wall, err := runPlan(sys, pl, p, *steps, *spans, *metricsOut, *promOut)
+		wall, err := runPlan(sys, pl, p, *steps, *spans, *metricsOut, *promOut, *chromeOut)
 		if err != nil {
 			return err
 		}
@@ -240,6 +241,13 @@ func run() error {
 			return err
 		}
 	}
+	if *chromeOut != "" {
+		if err := cliio.WriteFile(*chromeOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, res.Spans)
+		}); err != nil {
+			return err
+		}
+	}
 	return repeatReport(*repeat, wall, rerun)
 }
 
@@ -277,7 +285,7 @@ func repeatReport(n int, first time.Duration, rerun func() (time.Duration, error
 // runPlan executes a compiled query plan and prints the per-stage
 // report, returning the first run's host wall time.
 func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
-	steps, spans bool, metricsOut, promOut string) (time.Duration, error) {
+	steps, spans bool, metricsOut, promOut, chromeOut string) (time.Duration, error) {
 	start := time.Now()
 	res, err := simulate.RunPlan(sys, pl, p)
 	wall := time.Since(start)
@@ -348,6 +356,13 @@ func runPlan(sys simulate.System, pl simulate.Plan, p simulate.Params,
 	if promOut != "" {
 		if err := cliio.WriteFile(promOut, func(w io.Writer) error {
 			return obs.WritePrometheus(w, p.Obs)
+		}); err != nil {
+			return wall, err
+		}
+	}
+	if chromeOut != "" {
+		if err := cliio.WriteFile(chromeOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, res.Spans)
 		}); err != nil {
 			return wall, err
 		}

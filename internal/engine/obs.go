@@ -516,6 +516,25 @@ func (e *Engine) BuildSpans() *obs.Span {
 		}
 		ps := root.Child(p.Name, p.StartNs, p.EndNs)
 		ps.SetAttr("instructions", p.instructions)
+		// Phase-delta attribution (same deltas CollectObs exports as
+		// phase_* counters), so a Chrome trace of the run carries the
+		// byte/miss breakdown on each phase slice without a registry.
+		d := p.deltas
+		if d.accesses > 0 {
+			ps.SetAttr("accesses", float64(d.accesses))
+		}
+		if d.l1.Misses > 0 {
+			ps.SetAttr("l1_misses", float64(d.l1.Misses))
+		}
+		if b := d.dram.TotalBytes(); b > 0 {
+			ps.SetAttr("dram_bytes", float64(b))
+		}
+		if d.mesh.Bytes > 0 {
+			ps.SetAttr("mesh_bytes", float64(d.mesh.Bytes))
+		}
+		if d.serdesBytes > 0 {
+			ps.SetAttr("serdes_bytes", float64(d.serdesBytes))
+		}
 		for ; next < p.StepEnd; next++ {
 			buildStep(ps, next)
 		}

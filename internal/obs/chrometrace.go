@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Chrome trace_event export: renders a Span tree as the JSON object
+// format Perfetto and chrome://tracing open directly. Every event is a
+// "X" (complete) event on the simulated clock — ts/dur are microseconds,
+// so simulated nanoseconds divide by 1e3 — plus "M" metadata events
+// naming the tracks. Because spans are built from deterministic engine
+// state and attrs marshal with sorted keys, the output is byte-identical
+// across host parallelism (pinned by TestChromeTraceDeterminism).
+//
+// Track (tid) assignment: the run/phase/step/exchange hierarchy renders
+// on tid 0 ("engine"); per-unit spans (`unit_N`) render on tid N+1
+// ("unit N") so vault-level concurrency is visible as parallel tracks.
+
+// chromeEvent is one entry of the trace_event "traceEvents" array. Field
+// order here fixes the JSON field order (encoding/json emits struct
+// fields in declaration order), which the determinism test relies on.
+type chromeEvent struct {
+	Name string             `json:"name"`
+	Ph   string             `json:"ph"`
+	Ts   float64            `json:"ts"`
+	Dur  float64            `json:"dur,omitempty"`
+	Pid  int                `json:"pid"`
+	Tid  int                `json:"tid"`
+	Args map[string]float64 `json:"args,omitempty"`
+}
+
+// chromeMeta is a "M" metadata event (thread naming).
+type chromeMeta struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []json.RawMessage `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the span tree rooted at root as Chrome
+// trace_event JSON. A nil root writes an empty (still valid) document.
+func WriteChromeTrace(w io.Writer, root *Span) error {
+	var events []json.RawMessage
+	tids := map[int]struct{}{}
+	collectTids(root, tids)
+	order := make([]int, 0, len(tids))
+	for tid := range tids {
+		order = append(order, tid)
+	}
+	sort.Ints(order)
+	for _, tid := range order {
+		name := "engine"
+		if tid > 0 {
+			name = "unit " + strconv.Itoa(tid-1)
+		}
+		b, err := json.Marshal(chromeMeta{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid,
+			Args: map[string]string{"name": name},
+		})
+		if err != nil {
+			return err
+		}
+		events = append(events, b)
+	}
+	var err error
+	events, err = appendSpanEvents(events, root)
+	if err != nil {
+		return err
+	}
+	if events == nil {
+		events = []json.RawMessage{}
+	}
+	b, err := json.MarshalIndent(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ns"}, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func collectTids(s *Span, tids map[int]struct{}) {
+	if s == nil {
+		return
+	}
+	tids[spanTid(s)] = struct{}{}
+	for _, c := range s.Children {
+		collectTids(c, tids)
+	}
+}
+
+// spanTid maps a span to its track: unit_N spans go to tid N+1,
+// everything else to the engine track (tid 0).
+func spanTid(s *Span) int {
+	if n, ok := strings.CutPrefix(s.Name, "unit_"); ok {
+		if id, err := strconv.Atoi(n); err == nil && id >= 0 {
+			return id + 1
+		}
+	}
+	return 0
+}
+
+func appendSpanEvents(events []json.RawMessage, s *Span) ([]json.RawMessage, error) {
+	if s == nil {
+		return events, nil
+	}
+	ev := chromeEvent{
+		Name: s.Name,
+		Ph:   "X",
+		Ts:   s.StartNs / 1e3, // simulated ns -> trace µs
+		Dur:  s.DurationNs() / 1e3,
+		Pid:  0,
+		Tid:  spanTid(s),
+		Args: s.Attrs, // map marshals with sorted keys: deterministic
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	events = append(events, b)
+	for _, c := range s.Children {
+		events, err = appendSpanEvents(events, c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return events, nil
+}

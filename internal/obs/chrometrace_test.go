@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// traceDoc mirrors the trace_event JSON object format for assertions.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	root := &Span{Name: "run", StartNs: 0, EndNs: 4000}
+	ph := root.Child("partition", 0, 3000)
+	ph.SetAttr("instructions", 1234)
+	st := ph.Child("scatter", 0, 2000)
+	st.Child("unit_0", 0, 1500)
+	st.Child("unit_3", 0, 2000)
+	x := st.Child("exchange", 0, 2000)
+	x.SetAttr("bytes", 4096)
+	root.Child("probe", 3000, 4000)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, root); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	var metas, complete int
+	byName := map[string][]int{} // name -> tids
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", e.Name)
+			}
+		case "X":
+			complete++
+			byName[e.Name] = append(byName[e.Name], e.Tid)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	// Tracks: engine (0), unit 0 (1), unit 3 (4).
+	if metas != 3 {
+		t.Fatalf("thread metadata events = %d, want 3", metas)
+	}
+	if complete != 7 {
+		t.Fatalf("complete events = %d, want 7", complete)
+	}
+	if tids := byName["unit_0"]; len(tids) != 1 || tids[0] != 1 {
+		t.Fatalf("unit_0 tid = %v, want [1]", tids)
+	}
+	if tids := byName["unit_3"]; len(tids) != 1 || tids[0] != 4 {
+		t.Fatalf("unit_3 tid = %v, want [4]", tids)
+	}
+	if tids := byName["run"]; len(tids) != 1 || tids[0] != 0 {
+		t.Fatalf("run tid = %v, want [0]", tids)
+	}
+	// Simulated ns ÷ 1000 = trace µs.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "probe" {
+			if e.Ts != 3 || e.Dur != 1 {
+				t.Fatalf("probe ts/dur = %g/%g µs, want 3/1", e.Ts, e.Dur)
+			}
+		}
+	}
+	// Attrs survive as args.
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "exchange" {
+			if v, ok := e.Args["bytes"].(float64); !ok || v != 4096 {
+				t.Fatalf("exchange args = %v, want bytes=4096", e.Args)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("exchange event missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeTraceNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("nil span: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil-span output must still be valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil span must render no events")
+	}
+}

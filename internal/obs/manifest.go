@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"sort"
 )
 
 // ManifestSchema identifies the manifest JSON layout; bump on breaking
@@ -48,12 +49,51 @@ type Manifest struct {
 	// marshal in declaration order, so the JSON form is deterministic.
 	Params any `json:"params,omitempty"`
 
-	Verified         bool           `json:"verified"`
-	SimulatedTotalNs float64        `json:"simulated_total_ns"`
-	Phases           []PhaseSummary `json:"phases,omitempty"`
-	Metrics          Snapshot       `json:"metrics"`
-	Spans            *Span          `json:"spans,omitempty"`
-	Host             HostInfo       `json:"host"`
+	Verified         bool            `json:"verified"`
+	SimulatedTotalNs float64         `json:"simulated_total_ns"`
+	Phases           []PhaseSummary  `json:"phases,omitempty"`
+	Metrics          Snapshot        `json:"metrics"`
+	Windows          []WindowSummary `json:"windows,omitempty"`
+	Spans            *Span           `json:"spans,omitempty"`
+	Host             HostInfo        `json:"host"`
+}
+
+// WindowSummary is the percentile digest of one histogram family in the
+// manifest — the same p50/p95/p99 view the live /tenants endpoint serves,
+// computed here from the run's cumulative buckets so offline manifests
+// and live snapshots read the same way. Deterministic: derived purely
+// from bucket counts.
+type WindowSummary struct {
+	Name  string  `json:"name"`
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// SummarizeHistograms digests every histogram in s into a WindowSummary,
+// sorted by name (deterministic). Returns nil when s has no histograms.
+func SummarizeHistograms(s Snapshot) []WindowSummary {
+	if len(s.Histograms) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]WindowSummary, 0, len(names))
+	for _, name := range names {
+		h := s.Histograms[name]
+		out = append(out, WindowSummary{
+			Name:  name,
+			Count: h.Count,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return out
 }
 
 // Deterministic returns a copy of m with every host-dependent field

@@ -1,7 +1,8 @@
 // Package obs is the simulator's zero-dependency observability layer:
 // a metrics registry (counters, gauges, fixed-bucket histograms), a
-// simulated-time span tree, and two exporters — a machine-readable JSON
-// run manifest and Prometheus text format.
+// simulated-time span tree, rolling live windows with percentile
+// estimation, and exporters — a machine-readable JSON run manifest,
+// Prometheus text format, and Chrome trace_event JSON.
 //
 // Design constraints, in order:
 //
@@ -23,23 +24,36 @@
 //
 // Metrics are identified by name; a Prometheus-style label set may be
 // embedded in the name with Label (`dram_row_hits{vault="3"}`). Metrics
-// are not internally synchronized: a registry (or shard) must be owned by
-// one goroutine at a time, which is exactly the worker-pool shard model.
+// are not internally synchronized by default: a registry (or shard) must
+// be owned by one goroutine at a time, which is exactly the worker-pool
+// shard model. A long-lived serving registry that must be snapshotted
+// while writers are active opts into synchronization with Concurrent()
+// — see its doc for the exact contract.
 package obs
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Counter is a monotonically increasing uint64 metric. The zero value is
 // ready to use; a nil Counter ignores all updates.
-type Counter struct{ v uint64 }
+type Counter struct {
+	v  uint64
+	mu *sync.Mutex // non-nil only for handles of a Concurrent() registry
+}
 
 // Add increments the counter by n. No-op on a nil receiver.
 func (c *Counter) Add(n uint64) {
 	if c == nil {
+		return
+	}
+	if c.mu != nil {
+		c.mu.Lock()
+		c.v += n
+		c.mu.Unlock()
 		return
 	}
 	c.v += n
@@ -53,6 +67,10 @@ func (c *Counter) Value() uint64 {
 	if c == nil {
 		return 0
 	}
+	if c.mu != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+	}
 	return c.v
 }
 
@@ -61,12 +79,17 @@ func (c *Counter) Value() uint64 {
 type Gauge struct {
 	v   float64
 	set bool
+	mu  *sync.Mutex // non-nil only for handles of a Concurrent() registry
 }
 
 // Set assigns the gauge's value. No-op on a nil receiver.
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
+	}
+	if g.mu != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
 	}
 	g.v, g.set = v, true
 }
@@ -76,6 +99,10 @@ func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
 	}
+	if g.mu != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+	}
 	g.v, g.set = g.v+d, true
 }
 
@@ -83,6 +110,10 @@ func (g *Gauge) Add(d float64) {
 func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
+	}
+	if g.mu != nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
 	}
 	return g.v
 }
@@ -95,6 +126,7 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is the overflow (+Inf) bucket
 	count  uint64
 	sum    float64
+	mu     *sync.Mutex // non-nil only for handles of a Concurrent() registry
 }
 
 // Observe records one observation. No-op on a nil receiver.
@@ -107,6 +139,14 @@ func (h *Histogram) ObserveN(v float64, n uint64) {
 	if h == nil || n == 0 {
 		return
 	}
+	if h.mu != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	h.observeLocked(v, n)
+}
+
+func (h *Histogram) observeLocked(v float64, n uint64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i] += n
 	h.count += n
@@ -118,6 +158,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
 	}
+	if h.mu != nil {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+	}
+	return h.snapshotLocked()
+}
+
+func (h *Histogram) snapshotLocked() HistogramSnapshot {
 	return HistogramSnapshot{
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
@@ -129,13 +177,63 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // Registry holds named metrics. A nil *Registry is the disabled fast
 // path: Counter/Gauge/Histogram return nil handles whose methods no-op.
 type Registry struct {
-	metrics map[string]any // *Counter | *Gauge | *Histogram
-	order   []string       // registration order (stable export basis)
+	metrics map[string]any    // *Counter | *Gauge | *Histogram
+	order   []string          // registration order (stable export basis)
+	help    map[string]string // family -> HELP text (Prometheus export)
+	sync    *sync.Mutex       // non-nil after Concurrent(): serializes every access
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]any)}
+}
+
+// Concurrent switches the registry into its synchronized mode and
+// returns it: every subsequent metric write (through handles already
+// handed out or future ones), lookup, snapshot and export is serialized
+// on one internal mutex, so a reader may snapshot or export while
+// writers are active — the serving layer's live-introspection contract
+// (DESIGN.md §17). Call it before the registry is shared; the switch
+// itself is not synchronized against concurrent use. The default
+// unsynchronized mode stays the deterministic single-owner fast path,
+// and a nil registry remains the disabled no-op handle.
+func (r *Registry) Concurrent() *Registry {
+	if r == nil {
+		return nil
+	}
+	if r.sync == nil {
+		r.sync = &sync.Mutex{}
+		for _, m := range r.metrics {
+			stamp(m, r.sync)
+		}
+	}
+	return r
+}
+
+// stamp attaches the registry's mutex to one metric handle.
+func stamp(m any, mu *sync.Mutex) {
+	switch h := m.(type) {
+	case *Counter:
+		h.mu = mu
+	case *Gauge:
+		h.mu = mu
+	case *Histogram:
+		h.mu = mu
+	}
+}
+
+// lock/unlock guard registry-level state in Concurrent mode and are free
+// no-ops otherwise.
+func (r *Registry) lock() {
+	if r.sync != nil {
+		r.sync.Lock()
+	}
+}
+
+func (r *Registry) unlock() {
+	if r.sync != nil {
+		r.sync.Unlock()
+	}
 }
 
 // Counter returns (registering on first use) the named counter.
@@ -144,6 +242,12 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
+	return r.counterLocked(name)
+}
+
+func (r *Registry) counterLocked(name string) *Counter {
 	if m, ok := r.metrics[name]; ok {
 		c, ok := m.(*Counter)
 		if !ok {
@@ -151,7 +255,7 @@ func (r *Registry) Counter(name string) *Counter {
 		}
 		return c
 	}
-	c := &Counter{}
+	c := &Counter{mu: r.sync}
 	r.register(name, c)
 	return c
 }
@@ -162,6 +266,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
+	return r.gaugeLocked(name)
+}
+
+func (r *Registry) gaugeLocked(name string) *Gauge {
 	if m, ok := r.metrics[name]; ok {
 		g, ok := m.(*Gauge)
 		if !ok {
@@ -169,7 +279,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 		}
 		return g
 	}
-	g := &Gauge{}
+	g := &Gauge{mu: r.sync}
 	r.register(name, g)
 	return g
 }
@@ -182,6 +292,12 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
+	return r.histogramLocked(name, bounds)
+}
+
+func (r *Registry) histogramLocked(name string, bounds []float64) *Histogram {
 	if !sort.Float64sAreSorted(bounds) {
 		panic(fmt.Sprintf("obs: histogram %q bounds not sorted", name))
 	}
@@ -198,6 +314,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]uint64, len(bounds)+1),
+		mu:     r.sync,
 	}
 	r.register(name, h)
 	return h
@@ -208,11 +325,32 @@ func (r *Registry) register(name string, m any) {
 	r.order = append(r.order, name)
 }
 
+// SetHelp records a HELP string for a metric family, emitted by the
+// Prometheus exporter (escaped per the text exposition format). No-op on
+// a nil registry.
+func (r *Registry) SetHelp(family, help string) {
+	if r == nil {
+		return
+	}
+	r.lock()
+	defer r.unlock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[family] = help
+}
+
 // Names returns the registered metric names in sorted order.
 func (r *Registry) Names() []string {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
+	return r.namesLocked()
+}
+
+func (r *Registry) namesLocked() []string {
 	names := append([]string(nil), r.order...)
 	sort.Strings(names)
 	return names
@@ -220,7 +358,8 @@ func (r *Registry) Names() []string {
 
 // NewShard returns an empty registry intended for single-owner recording
 // by one worker; Merge folds shards back into the parent. (Shards share
-// no state with the parent — the schema materializes on demand.)
+// no state with the parent — the schema materializes on demand — and are
+// always unsynchronized, whatever mode the parent is in.)
 func (r *Registry) NewShard() *Registry {
 	if r == nil {
 		return nil
@@ -234,11 +373,13 @@ func (r *Registry) NewShard() *Registry {
 // buckets sum; gauges take the last Set value in merge order. Metrics
 // absent from r are registered. Merging a histogram into an existing one
 // with different bounds is an error. Nil shards are skipped; merging into
-// a nil registry is a no-op.
+// a nil registry is a no-op. The shards themselves must be quiescent.
 func (r *Registry) Merge(shards ...*Registry) error {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
 	for _, s := range shards {
 		if s == nil {
 			continue
@@ -246,10 +387,11 @@ func (r *Registry) Merge(shards ...*Registry) error {
 		for _, name := range s.order {
 			switch m := s.metrics[name].(type) {
 			case *Counter:
-				r.Counter(name).Add(m.v)
+				r.counterLocked(name).v += m.v
 			case *Gauge:
 				if m.set {
-					r.Gauge(name).Set(m.v)
+					g := r.gaugeLocked(name)
+					g.v, g.set = m.v, true
 				}
 			case *Histogram:
 				if ex, ok := r.metrics[name]; ok {
@@ -267,7 +409,7 @@ func (r *Registry) Merge(shards ...*Registry) error {
 					h.sum += m.sum
 					continue
 				}
-				h := r.Histogram(name, m.bounds)
+				h := r.histogramLocked(name, m.bounds)
 				copy(h.counts, m.counts)
 				h.count, h.sum = m.count, m.sum
 			}
@@ -285,6 +427,51 @@ type HistogramSnapshot struct {
 	Sum    float64   `json:"sum"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts by linear interpolation within the selected bucket — the same
+// estimator Prometheus's histogram_quantile uses. Observations in the
+// overflow bucket clamp to the last finite bound. Returns 0 when the
+// histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Bounds, s.Counts, s.Count, q)
+}
+
+// quantileFromBuckets is the shared bucket-interpolation estimator used
+// by HistogramSnapshot.Quantile and the rolling Window.
+func quantileFromBuckets(bounds []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, bound := range bounds {
+		prev := cum
+		cum += counts[i]
+		if float64(cum) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = bounds[i-1]
+			}
+			if counts[i] == 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(counts[i])
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (bound-lower)*frac
+		}
+	}
+	// Overflow bucket: clamp to the last finite bound.
+	return bounds[len(bounds)-1]
+}
+
 // Snapshot is the exported state of a whole registry. The maps marshal
 // with sorted keys (encoding/json), so the JSON form is deterministic.
 type Snapshot struct {
@@ -294,11 +481,15 @@ type Snapshot struct {
 }
 
 // Snapshot exports every metric's current value (zero value when nil).
+// On a Concurrent() registry the whole snapshot is one critical section,
+// so it is a consistent point-in-time view even with writers active.
 func (r *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if r == nil {
 		return s
 	}
+	r.lock()
+	defer r.unlock()
 	for _, name := range r.order {
 		switch m := r.metrics[name].(type) {
 		case *Counter:
@@ -315,7 +506,7 @@ func (r *Registry) Snapshot() Snapshot {
 			if s.Histograms == nil {
 				s.Histograms = make(map[string]HistogramSnapshot)
 			}
-			s.Histograms[name] = m.Snapshot()
+			s.Histograms[name] = m.snapshotLocked()
 		}
 	}
 	return s
@@ -323,12 +514,58 @@ func (r *Registry) Snapshot() Snapshot {
 
 // Label appends one label to a metric name in Prometheus syntax:
 // Label("dram_row_hits", "vault", "3") == `dram_row_hits{vault="3"}`,
-// and labeling an already-labeled name extends its label set.
+// and labeling an already-labeled name extends its label set. The value
+// is escaped per the text exposition format (backslash, quote, newline).
 func Label(name, key, value string) string {
+	value = escapeLabelValue(value)
 	if strings.HasSuffix(name, "}") {
 		return name[:len(name)-1] + `,` + key + `="` + value + `"}`
 	}
 	return name + `{` + key + `="` + value + `"}`
+}
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double-quote and line feed.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string for the text exposition format:
+// backslash and line feed (quotes stay literal there).
+func escapeHelp(v string) string {
+	if !strings.ContainsAny(v, "\\\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // splitName separates a possibly-labeled metric name into its family name

@@ -9,33 +9,37 @@ import (
 
 // WritePrometheus renders every metric in r in Prometheus text exposition
 // format (version 0.0.4). Metrics are emitted in sorted-name order, with
-// one `# TYPE` line per family; histograms expand into cumulative
-// `_bucket{le=...}` series plus `_sum` and `_count`. A nil registry
-// writes nothing.
+// one `# HELP` (when set via SetHelp) and `# TYPE` line per family;
+// histograms expand into cumulative `_bucket{le=...}` series plus `_sum`
+// and `_count`. A nil registry writes nothing. On a Concurrent()
+// registry the whole export is one critical section, consistent with
+// concurrent writers.
 func WritePrometheus(w io.Writer, r *Registry) error {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
 	typed := make(map[string]string) // family -> emitted TYPE
-	for _, name := range r.Names() {
+	for _, name := range r.namesLocked() {
 		family, labels := splitName(name)
 		switch m := r.metrics[name].(type) {
 		case *Counter:
-			if err := writeType(w, typed, family, "counter"); err != nil {
+			if err := writeHeader(w, r, typed, family, "counter"); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s %d\n", promName(family, labels), m.v); err != nil {
 				return err
 			}
 		case *Gauge:
-			if err := writeType(w, typed, family, "gauge"); err != nil {
+			if err := writeHeader(w, r, typed, family, "gauge"); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(w, "%s %s\n", promName(family, labels), formatFloat(m.v)); err != nil {
 				return err
 			}
 		case *Histogram:
-			if err := writeType(w, typed, family, "histogram"); err != nil {
+			if err := writeHeader(w, r, typed, family, "histogram"); err != nil {
 				return err
 			}
 			var cum uint64
@@ -60,9 +64,10 @@ func WritePrometheus(w io.Writer, r *Registry) error {
 	return nil
 }
 
-// writeType emits the `# TYPE` header the first time a family appears and
-// checks that one family isn't reused across metric kinds.
-func writeType(w io.Writer, typed map[string]string, family, kind string) error {
+// writeHeader emits the `# HELP` (if any) and `# TYPE` lines the first
+// time a family appears and checks that one family isn't reused across
+// metric kinds.
+func writeHeader(w io.Writer, r *Registry, typed map[string]string, family, kind string) error {
 	if prev, ok := typed[family]; ok {
 		if prev != kind {
 			return fmt.Errorf("obs: family %q exported as both %s and %s", family, prev, kind)
@@ -70,6 +75,11 @@ func writeType(w io.Writer, typed map[string]string, family, kind string) error 
 		return nil
 	}
 	typed[family] = kind
+	if help, ok := r.help[family]; ok {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
 	return err
 }
@@ -90,7 +100,8 @@ func addLabel(labels, l string) string {
 
 // formatFloat renders a float the way Prometheus clients expect: shortest
 // round-trip representation, integral values without an exponent where
-// possible.
+// possible, and NaN/+Inf/-Inf spelled the way the exposition format
+// requires.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -101,6 +112,8 @@ func (r *Registry) Families() []string {
 	if r == nil {
 		return nil
 	}
+	r.lock()
+	defer r.unlock()
 	set := make(map[string]struct{})
 	for _, name := range r.order {
 		f, _ := splitName(name)

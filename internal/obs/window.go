@@ -1,0 +1,246 @@
+package obs
+
+// Window is a rolling-window histogram: a ring of fixed-bucket slots
+// over shared bounds. Record observes into the current slot; Advance
+// rotates the ring, dropping the oldest slot — so queries always cover
+// the last `slots` rotation periods. The serve layer rotates windows on
+// a wall-clock cadence to answer "p99 queue wait over the last minute"
+// while the cumulative registry histograms keep all-time totals.
+//
+// A nil *Window ignores all operations (mirroring the registry's
+// disabled path). Windows are unsynchronized — callers own locking (the
+// serve scheduler updates them under its own mutex).
+type Window struct {
+	bounds []float64
+	slots  []windowSlot
+	cur    int // index of the slot currently recording
+}
+
+type windowSlot struct {
+	counts []uint64 // len(bounds)+1; last is overflow
+	count  uint64
+	sum    float64
+}
+
+// NewWindow returns a rolling window with `slots` ring slots over the
+// given sorted bucket bounds. Panics on slots < 1 or unsorted bounds.
+func NewWindow(slots int, bounds []float64) *Window {
+	if slots < 1 {
+		panic("obs: NewWindow slots < 1")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			panic("obs: NewWindow bounds not sorted")
+		}
+	}
+	w := &Window{
+		bounds: append([]float64(nil), bounds...),
+		slots:  make([]windowSlot, slots),
+	}
+	for i := range w.slots {
+		w.slots[i].counts = make([]uint64, len(bounds)+1)
+	}
+	return w
+}
+
+// Record observes one value into the current slot. No-op on nil.
+func (w *Window) Record(v float64) {
+	if w == nil {
+		return
+	}
+	s := &w.slots[w.cur]
+	i := searchBounds(w.bounds, v)
+	s.counts[i]++
+	s.count++
+	s.sum += v
+}
+
+// searchBounds returns the index of the first bound >= v, or len(bounds)
+// for the overflow bucket. Linear scan: window bounds are short (~10
+// entries) and the common case lands in the first few buckets, so this
+// beats binary search and keeps the record path branch-cheap.
+func searchBounds(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// Advance rotates the ring by one slot, clearing the slot that now
+// becomes current (the oldest data falls out of every query). No-op on
+// nil.
+func (w *Window) Advance() {
+	if w == nil {
+		return
+	}
+	w.cur = (w.cur + 1) % len(w.slots)
+	s := &w.slots[w.cur]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.count, s.sum = 0, 0
+}
+
+// Count returns the number of observations across all live slots.
+func (w *Window) Count() uint64 {
+	if w == nil {
+		return 0
+	}
+	var n uint64
+	for i := range w.slots {
+		n += w.slots[i].count
+	}
+	return n
+}
+
+// Sum returns the sum of observations across all live slots.
+func (w *Window) Sum() float64 {
+	if w == nil {
+		return 0
+	}
+	var s float64
+	for i := range w.slots {
+		s += w.slots[i].sum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile over all live slots using the same
+// bucket interpolation as HistogramSnapshot.Quantile. Returns 0 when the
+// window is empty or nil.
+func (w *Window) Quantile(q float64) float64 {
+	if w == nil {
+		return 0
+	}
+	counts := make([]uint64, len(w.bounds)+1)
+	var total uint64
+	for i := range w.slots {
+		for j, c := range w.slots[i].counts {
+			counts[j] += c
+		}
+		total += w.slots[i].count
+	}
+	return quantileFromBuckets(w.bounds, counts, total, q)
+}
+
+// Snapshot merges all live slots into one HistogramSnapshot.
+func (w *Window) Snapshot() HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), w.bounds...),
+		Counts: make([]uint64, len(w.bounds)+1),
+	}
+	for i := range w.slots {
+		for j, c := range w.slots[i].counts {
+			s.Counts[j] += c
+		}
+		s.Count += w.slots[i].count
+		s.Sum += w.slots[i].sum
+	}
+	return s
+}
+
+// SLO is a latency service-level objective: "Objective of requests
+// complete within TargetNs" (e.g. 0.99 within 50ms).
+type SLO struct {
+	TargetNs  float64 // latency threshold separating good from bad events
+	Objective float64 // fraction of events that must be good, in (0,1)
+}
+
+// SLOTracker tracks an SLO over the same rolling ring as Window: each
+// slot counts good (latency <= target) and bad events; Advance drops the
+// oldest slot. BurnRate answers "how fast is the error budget burning
+// right now" — 1.0 means exactly at budget, >1 burning too fast.
+//
+// A nil *SLOTracker ignores all operations. Unsynchronized, like Window.
+type SLOTracker struct {
+	slo  SLO
+	good []uint64
+	bad  []uint64
+	cur  int
+}
+
+// NewSLOTracker returns a tracker over `slots` ring slots. Panics on
+// slots < 1 or an objective outside (0,1).
+func NewSLOTracker(slots int, slo SLO) *SLOTracker {
+	if slots < 1 {
+		panic("obs: NewSLOTracker slots < 1")
+	}
+	if !(slo.Objective > 0 && slo.Objective < 1) {
+		panic("obs: NewSLOTracker objective must be in (0,1)")
+	}
+	return &SLOTracker{
+		slo:  slo,
+		good: make([]uint64, slots),
+		bad:  make([]uint64, slots),
+	}
+}
+
+// SLO returns the tracked objective (zero value on nil).
+func (t *SLOTracker) SLO() SLO {
+	if t == nil {
+		return SLO{}
+	}
+	return t.slo
+}
+
+// Record classifies one completed event by latency. No-op on nil.
+func (t *SLOTracker) Record(latencyNs float64) {
+	if t == nil {
+		return
+	}
+	if latencyNs <= t.slo.TargetNs {
+		t.good[t.cur]++
+	} else {
+		t.bad[t.cur]++
+	}
+}
+
+// RecordBad counts one unconditionally-bad event (errors, admission
+// rejects) against the budget. No-op on nil.
+func (t *SLOTracker) RecordBad() {
+	if t == nil {
+		return
+	}
+	t.bad[t.cur]++
+}
+
+// Advance rotates the ring, clearing the slot that becomes current.
+func (t *SLOTracker) Advance() {
+	if t == nil {
+		return
+	}
+	t.cur = (t.cur + 1) % len(t.good)
+	t.good[t.cur], t.bad[t.cur] = 0, 0
+}
+
+// GoodFraction returns the fraction of good events over the live window
+// (1 when the window is empty — no budget consumed).
+func (t *SLOTracker) GoodFraction() float64 {
+	if t == nil {
+		return 1
+	}
+	var good, bad uint64
+	for i := range t.good {
+		good += t.good[i]
+		bad += t.bad[i]
+	}
+	if good+bad == 0 {
+		return 1
+	}
+	return float64(good) / float64(good+bad)
+}
+
+// BurnRate returns the error-budget burn rate over the live window:
+// observed bad fraction divided by the budgeted bad fraction
+// (1-Objective). 0 on an empty window, 1.0 at exactly budget.
+func (t *SLOTracker) BurnRate() float64 {
+	if t == nil {
+		return 0
+	}
+	return (1 - t.GoodFraction()) / (1 - t.slo.Objective)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilWindowAndSLOAreNoOps(t *testing.T) {
+	var w *Window
+	w.Record(1)
+	w.Advance()
+	if w.Count() != 0 || w.Sum() != 0 || w.Quantile(0.5) != 0 {
+		t.Fatalf("nil window must read as zero")
+	}
+	if s := w.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil window snapshot must be empty")
+	}
+	var tr *SLOTracker
+	tr.Record(1)
+	tr.RecordBad()
+	tr.Advance()
+	if tr.GoodFraction() != 1 || tr.BurnRate() != 0 {
+		t.Fatalf("nil tracker must read as healthy")
+	}
+}
+
+func TestWindowRecordAndQuantile(t *testing.T) {
+	w := NewWindow(3, []float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		w.Record(5) // bucket 0
+	}
+	for i := 0; i < 9; i++ {
+		w.Record(50) // bucket 1
+	}
+	w.Record(500) // bucket 2
+	if w.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", w.Count())
+	}
+	if got := w.Sum(); got != 90*5+9*50+500 {
+		t.Fatalf("Sum = %g", got)
+	}
+	// p50 lands mid-bucket-0 (interpolated within [0,10]); p95 and p99 in
+	// bucket 1 (rank 99 of 100 is exactly bucket 1's cumulative edge);
+	// p100 reaches into bucket 2.
+	if p := w.Quantile(0.50); p <= 0 || p > 10 {
+		t.Fatalf("p50 = %g, want in (0,10]", p)
+	}
+	if p := w.Quantile(0.95); p <= 10 || p > 100 {
+		t.Fatalf("p95 = %g, want in (10,100]", p)
+	}
+	if p := w.Quantile(0.99); p <= 10 || p > 100 {
+		t.Fatalf("p99 = %g, want in (10,100]", p)
+	}
+	if p := w.Quantile(1); p <= 100 || p > 1000 {
+		t.Fatalf("p100 = %g, want in (100,1000]", p)
+	}
+	// Overflow clamps to the last finite bound.
+	w2 := NewWindow(1, []float64{10})
+	w2.Record(1e9)
+	if p := w2.Quantile(0.99); p != 10 {
+		t.Fatalf("overflow quantile = %g, want clamp to 10", p)
+	}
+}
+
+func TestWindowAdvanceDropsOldSlots(t *testing.T) {
+	w := NewWindow(3, []float64{10, 100})
+	w.Record(5)
+	w.Advance()
+	w.Record(5)
+	if w.Count() != 2 {
+		t.Fatalf("both slots live: Count = %d, want 2", w.Count())
+	}
+	// Two more rotations push the first slot out of the ring.
+	w.Advance()
+	w.Advance()
+	if w.Count() != 1 {
+		t.Fatalf("after 3 advances the first record must be gone: Count = %d", w.Count())
+	}
+	w.Advance()
+	if w.Count() != 0 {
+		t.Fatalf("all records aged out: Count = %d", w.Count())
+	}
+}
+
+func TestWindowSnapshotMatchesHistogram(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	w := NewWindow(4, bounds)
+	h := NewRegistry().Histogram("h", bounds)
+	vals := []float64{0.5, 2, 2, 50, 500, 7}
+	for i, v := range vals {
+		w.Record(v)
+		h.Observe(v)
+		if i%2 == 1 {
+			w.Advance() // spread across slots; all stay live (4 slots, 3 advances)
+		}
+	}
+	ws, hs := w.Snapshot(), h.Snapshot()
+	if ws.Count != hs.Count || ws.Sum != hs.Sum {
+		t.Fatalf("window snapshot diverges: %+v vs %+v", ws, hs)
+	}
+	for i := range ws.Counts {
+		if ws.Counts[i] != hs.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, ws.Counts[i], hs.Counts[i])
+		}
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if wq, hq := w.Quantile(q), hs.Quantile(q); wq != hq {
+			t.Fatalf("q=%g: window %g vs histogram %g", q, wq, hq)
+		}
+	}
+}
+
+func TestHistogramSnapshotQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if s.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot quantile must be 0")
+	}
+}
+
+func TestSLOTracker(t *testing.T) {
+	tr := NewSLOTracker(2, SLO{TargetNs: 100, Objective: 0.9})
+	if tr.GoodFraction() != 1 || tr.BurnRate() != 0 {
+		t.Fatalf("empty tracker must be healthy: good=%g burn=%g", tr.GoodFraction(), tr.BurnRate())
+	}
+	for i := 0; i < 90; i++ {
+		tr.Record(50) // good
+	}
+	for i := 0; i < 10; i++ {
+		tr.Record(200) // bad
+	}
+	// 10% bad against a 10% budget: burn rate exactly 1.
+	if gf := tr.GoodFraction(); gf != 0.9 {
+		t.Fatalf("GoodFraction = %g, want 0.9", gf)
+	}
+	if br := tr.BurnRate(); math.Abs(br-1) > 1e-9 {
+		t.Fatalf("BurnRate = %g, want 1", br)
+	}
+	tr.RecordBad() // unconditional bad event (error/reject)
+	if tr.BurnRate() <= 1 {
+		t.Fatalf("burn rate must rise past 1 after extra bad event: %g", tr.BurnRate())
+	}
+	// Rotating both slots clears the window back to healthy.
+	tr.Advance()
+	tr.Advance()
+	if tr.GoodFraction() != 1 || tr.BurnRate() != 0 {
+		t.Fatalf("cleared tracker must be healthy again")
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWindow(0, []float64{1}) },
+		func() { NewWindow(2, []float64{2, 1}) },
+		func() { NewSLOTracker(0, SLO{TargetNs: 1, Objective: 0.5}) },
+		func() { NewSLOTracker(1, SLO{TargetNs: 1, Objective: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected constructor panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

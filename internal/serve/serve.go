@@ -19,14 +19,23 @@
 //     submission order.
 //   - Observability is per-tenant: runs, simulated nanoseconds, exchange
 //     bytes, queue-wait histograms and admission rejects land on the
-//     configured registry under a tenant label. The registry is not
-//     internally synchronized, so every update happens under the
-//     scheduler mutex.
+//     configured registry under a tenant label. Writes happen under the
+//     scheduler mutex; New additionally switches the registry into its
+//     Concurrent() mode so exporters may snapshot it live, while
+//     writers are active (DESIGN.md §17).
+//
+// On top of the cumulative registry the scheduler keeps live state for
+// runtime introspection (DESIGN.md §17): per-tenant rolling windows
+// (p50/p95/p99 queue wait, simulated latency, exchange bytes over the
+// last WindowDur×WindowSlots), per-tenant SLO burn rates, and a bounded
+// flight recorder retaining the last FlightRecords requests — see
+// flight.go for the snapshot/export API.
 package serve
 
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -37,6 +46,15 @@ import (
 // DefaultQueueDepth bounds each tenant's queue when Config.QueueDepth
 // is unset.
 const DefaultQueueDepth = 64
+
+// Rolling-window and flight-recorder defaults (Config overrides).
+const (
+	DefaultWindowDur     = 5 * time.Second // per-slot rotation period
+	DefaultWindowSlots   = 12              // 12 × 5s = one-minute window
+	DefaultFlightRecords = 256             // flight-recorder ring capacity
+	DefaultSLOTargetNs   = 5e7             // 50ms simulated latency
+	DefaultSLOObjective  = 0.99            // 99% of runs within target
+)
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: scheduler closed")
@@ -87,9 +105,14 @@ type Response struct {
 
 // Ticket is the caller's handle on a submitted request.
 type Ticket struct {
+	id   uint64
 	done chan struct{}
 	resp Response
 }
+
+// ID returns the ticket's scheduler-unique identifier — the key for
+// flight-recorder lookups and the /trace/{ticket} endpoint.
+func (t *Ticket) ID() uint64 { return t.id }
 
 // Done is closed when the response is ready.
 func (t *Ticket) Done() <-chan struct{} { return t.done }
@@ -121,6 +144,74 @@ type Config struct {
 	// real host time per run, which a throughput-focused deployment
 	// keeps off the hot path.
 	HarvestExchange bool
+
+	// WindowDur is the rotation period of the rolling live windows
+	// (0 = DefaultWindowDur); WindowSlots is the ring length
+	// (0 = DefaultWindowSlots). The live percentiles cover the last
+	// WindowDur × WindowSlots of traffic.
+	WindowDur   time.Duration
+	WindowSlots int
+
+	// SLOTargetNs / SLOObjective define every tenant's latency SLO:
+	// "SLOObjective of runs finish within SLOTargetNs simulated ns"
+	// (0 = DefaultSLOTargetNs / DefaultSLOObjective). Errors and
+	// admission rejects always count against the budget.
+	SLOTargetNs  float64
+	SLOObjective float64
+
+	// FlightRecords bounds the flight-recorder ring: the last N request
+	// records kept for /flightrecorder and /trace/{ticket}
+	// (0 = DefaultFlightRecords, negative disables recording).
+	FlightRecords int
+	// FlightDump, when non-nil, receives one JSON dump of the flight
+	// ring on the first admission reject or internal error — the
+	// "what just went wrong" artifact, written at most once.
+	FlightDump io.Writer
+	// RetainSpans keeps each run's span tree in its flight record (and
+	// attaches a private registry like HarvestExchange so spans exist),
+	// serving /trace/{ticket}. Costs engine-metric collection per run
+	// plus the retained trees' memory; responses stay stripped either
+	// way.
+	RetainSpans bool
+
+	// now substitutes the wall clock in tests (nil = time.Now).
+	now func() time.Time
+}
+
+// windowDur/windowSlots/flightRecords resolve defaults.
+func (c Config) windowDur() time.Duration {
+	if c.WindowDur <= 0 {
+		return DefaultWindowDur
+	}
+	return c.WindowDur
+}
+
+func (c Config) windowSlots() int {
+	if c.WindowSlots <= 0 {
+		return DefaultWindowSlots
+	}
+	return c.WindowSlots
+}
+
+func (c Config) flightRecords() int {
+	if c.FlightRecords == 0 {
+		return DefaultFlightRecords
+	}
+	if c.FlightRecords < 0 {
+		return 0
+	}
+	return c.FlightRecords
+}
+
+func (c Config) slo() obs.SLO {
+	slo := obs.SLO{TargetNs: c.SLOTargetNs, Objective: c.SLOObjective}
+	if slo.TargetNs <= 0 {
+		slo.TargetNs = DefaultSLOTargetNs
+	}
+	if !(slo.Objective > 0 && slo.Objective < 1) {
+		slo.Objective = DefaultSLOObjective
+	}
+	return slo
 }
 
 // item is one queued request.
@@ -133,12 +224,21 @@ type item struct {
 	enqueued  time.Time
 }
 
-// tenantState is one tenant's queue and stride-scheduling state.
+// tenantState is one tenant's queue, stride-scheduling state, and live
+// rolling-window aggregation. The windows and the SLO tracker are
+// unsynchronized obs types; the scheduler mutex owns them.
 type tenantState struct {
 	name   string
 	weight int
 	pass   float64
 	queue  []*item
+
+	runs, errors, rejects uint64
+
+	qwWin  *obs.Window // queue wait, host ns
+	latWin *obs.Window // simulated latency, ns
+	exWin  *obs.Window // exchange bytes per run (HarvestExchange only)
+	slo    *obs.SLOTracker
 }
 
 // Scheduler is the multi-tenant run scheduler. Create with New, submit
@@ -155,11 +255,28 @@ type Scheduler struct {
 	basePass  float64 // virtual time: pass of the last dispatched tenant
 	closed    bool
 	wg        sync.WaitGroup
+
+	lastAdvance time.Time // last rolling-window rotation
+
+	flight       []FlightRecord // ring buffer, flightRecords() capacity
+	flightNext   int            // next write slot
+	flightLen    int            // live records (≤ cap)
+	flightDumped bool           // FlightDump fired already
 }
 
-// New builds a scheduler and starts cfg.Workers workers.
+// New builds a scheduler and starts cfg.Workers workers. A configured
+// obs registry is switched into Concurrent() mode so live exporters
+// (Prometheus scrapes, /tenants) can read it while workers write.
 func New(cfg Config) *Scheduler {
+	cfg.Obs = cfg.Obs.Concurrent()
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
 	s := &Scheduler{cfg: cfg, tenants: make(map[string]*tenantState)}
+	if n := cfg.flightRecords(); n > 0 {
+		s.flight = make([]FlightRecord, n)
+	}
+	s.lastAdvance = cfg.now()
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -209,26 +326,37 @@ func (s *Scheduler) Submit(tenant string, req Request) (*Ticket, error) {
 		s.mu.Unlock()
 		return nil, ErrClosed
 	}
+	s.advanceLocked()
 	t := s.tenantLocked(tenant)
+	s.seq++ // every submission gets an ID, rejected ones included
 	depth := s.cfg.QueueDepth
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
+	var adm *ErrAdmission
 	if len(t.queue) >= depth {
-		s.rejectLocked(tenant)
-		s.mu.Unlock()
-		return nil, &ErrAdmission{
+		adm = &ErrAdmission{
 			Tenant: tenant, Reason: fmt.Sprintf("tenant queue depth %d reached", depth),
 			FootprintBytes: fp, BudgetBytes: s.cfg.FootprintBudgetBytes,
 		}
-	}
-	if b := s.cfg.FootprintBudgetBytes; b > 0 && s.footprint+fp > b {
-		s.rejectLocked(tenant)
-		s.mu.Unlock()
-		return nil, &ErrAdmission{
+	} else if b := s.cfg.FootprintBudgetBytes; b > 0 && s.footprint+fp > b {
+		adm = &ErrAdmission{
 			Tenant: tenant, Reason: "aggregate vault-capacity footprint budget exceeded",
 			FootprintBytes: fp, BudgetBytes: b,
 		}
+	}
+	if adm != nil {
+		s.rejectLocked(t)
+		s.recordFlightLocked(FlightRecord{
+			Ticket: s.seq, Tenant: tenant, Outcome: OutcomeRejected,
+			Error: adm.Error(), System: req.System.String(),
+			Operator: requestOperator(req), Priority: req.Priority,
+			ParamsDigest: paramsDigest(req.Params),
+		})
+		dump := s.takeFlightDumpLocked()
+		s.mu.Unlock()
+		writeFlightDump(s.cfg.FlightDump, dump)
+		return nil, adm
 	}
 	s.footprint += fp
 	if len(t.queue) == 0 && t.pass < s.basePass {
@@ -236,10 +364,9 @@ func (s *Scheduler) Submit(tenant string, req Request) (*Ticket, error) {
 		// current virtual time instead of replaying its idle period.
 		t.pass = s.basePass
 	}
-	s.seq++
 	it := &item{
 		tenant: tenant, req: req, footprint: fp, seq: s.seq,
-		enqueued: time.Now(), ticket: &Ticket{done: make(chan struct{})},
+		enqueued: time.Now(), ticket: &Ticket{id: s.seq, done: make(chan struct{})},
 	}
 	t.queue = append(t.queue, it)
 	s.queued++
@@ -277,20 +404,64 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
+// Rolling-window bucket bounds. Queue wait is host time (1 µs – 10 s);
+// latency is simulated nanoseconds (1 µs – 100 s); exchange bytes are
+// per-run volumes (100 B – 1 GB).
+var (
+	latencyBounds       = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11}
+	exchangeBytesBounds = []float64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+)
+
 // tenantLocked returns (creating if needed) a tenant's state.
 func (s *Scheduler) tenantLocked(name string) *tenantState {
 	t := s.tenants[name]
 	if t == nil {
-		t = &tenantState{name: name, weight: 1}
+		slots := s.cfg.windowSlots()
+		t = &tenantState{
+			name:   name,
+			weight: 1,
+			qwWin:  obs.NewWindow(slots, queueWaitBounds),
+			latWin: obs.NewWindow(slots, latencyBounds),
+			exWin:  obs.NewWindow(slots, exchangeBytesBounds),
+			slo:    obs.NewSLOTracker(slots, s.cfg.slo()),
+		}
 		s.tenants[name] = t
 	}
 	return t
 }
 
-// rejectLocked counts one admission refusal.
-func (s *Scheduler) rejectLocked(tenant string) {
+// advanceLocked rotates every tenant's rolling windows once per elapsed
+// WindowDur period. Called on the paths that touch live state (account,
+// snapshot), so windows stay current without a background timer; an idle
+// gap longer than the whole window clears it in at most windowSlots
+// rotations.
+func (s *Scheduler) advanceLocked() {
+	dur := s.cfg.windowDur()
+	now := s.cfg.now()
+	slots := s.cfg.windowSlots()
+	for steps := 0; now.Sub(s.lastAdvance) >= dur; steps++ {
+		if steps >= slots {
+			// Every slot already cleared; jump to now.
+			s.lastAdvance = now
+			break
+		}
+		s.lastAdvance = s.lastAdvance.Add(dur)
+		for _, t := range s.tenants {
+			t.qwWin.Advance()
+			t.latWin.Advance()
+			t.exWin.Advance()
+			t.slo.Advance()
+		}
+	}
+}
+
+// rejectLocked counts one admission refusal against the tenant's
+// cumulative counter, live counters and SLO budget.
+func (s *Scheduler) rejectLocked(t *tenantState) {
+	t.rejects++
+	t.slo.RecordBad()
 	if s.cfg.Obs != nil {
-		s.cfg.Obs.Counter(obs.Label("tenant_admission_rejects", "tenant", tenant)).Inc()
+		s.cfg.Obs.Counter(obs.Label("tenant_admission_rejects", "tenant", t.name)).Inc()
 	}
 }
 
@@ -361,37 +532,66 @@ func (s *Scheduler) dispatchNext() bool {
 }
 
 // execute runs one dequeued item to completion: simulate, release the
-// footprint reservation, account per-tenant metrics, resolve the ticket.
+// footprint reservation, account per-tenant metrics, land the flight
+// record, resolve the ticket.
 func (s *Scheduler) execute(it *item) {
 	resp := Response{QueueNs: time.Since(it.enqueued).Nanoseconds()}
 	p := it.req.Params
-	// Harvest engine-level statistics (exchange bytes) through a private
-	// registry when the caller did not bring one — then strip the
+	// Harvest engine-level statistics (exchange bytes, spans) through a
+	// private registry when the caller did not bring one — then strip the
 	// obs-derived report fields again so a served Result stays
-	// byte-identical to a direct simulate.Run of the same request.
+	// byte-identical to a direct simulate.Run of the same request. The
+	// phase/span trees move into the flight record instead of vanishing.
 	var priv *obs.Registry
-	if s.cfg.Obs != nil && s.cfg.HarvestExchange && p.Obs == nil {
+	if s.cfg.Obs != nil && (s.cfg.HarvestExchange || s.cfg.RetainSpans) && p.Obs == nil {
 		priv = obs.NewRegistry()
 		p.Obs = priv
 	}
+	rec := FlightRecord{
+		Ticket: it.ticket.id, Tenant: it.tenant, Outcome: OutcomeOK,
+		System: it.req.System.String(), Operator: requestOperator(it.req),
+		Priority: it.req.Priority, ParamsDigest: paramsDigest(it.req.Params),
+		QueueNs: resp.QueueNs,
+	}
+	wallStart := time.Now()
 	if it.req.IsPlan {
 		r, err := simulate.RunPlan(it.req.System, it.req.Plan, p)
-		if r != nil && priv != nil {
-			r.Phases, r.Spans = nil, nil
+		if r != nil {
+			rec.SimNs = r.TotalNs
+			if priv != nil {
+				rec.capture(r.Phases, r.Spans, s.cfg.RetainSpans)
+				r.Phases, r.Spans = nil, nil
+			}
 		}
 		resp.PlanResult, resp.Err = r, err
 	} else {
 		r, err := simulate.Run(it.req.System, it.req.Operator, p)
-		if r != nil && priv != nil {
-			r.Phases, r.Spans = nil, nil
+		if r != nil {
+			rec.SimNs = r.TotalNs
+			if priv != nil {
+				rec.capture(r.Phases, r.Spans, s.cfg.RetainSpans)
+				r.Phases, r.Spans = nil, nil
+			}
 		}
 		resp.Result, resp.Err = r, err
+	}
+	rec.WallNs = time.Since(wallStart).Nanoseconds()
+	if resp.Err != nil {
+		rec.Outcome = OutcomeError
+		rec.Error = resp.Err.Error()
 	}
 
 	s.mu.Lock()
 	s.footprint -= it.footprint
 	s.accountLocked(it, &resp, priv)
+	s.recordFlightLocked(rec)
+	var dump []FlightRecord
+	var ierr *simulate.InternalError
+	if errors.As(resp.Err, &ierr) {
+		dump = s.takeFlightDumpLocked()
+	}
 	s.mu.Unlock()
+	writeFlightDump(s.cfg.FlightDump, dump)
 
 	it.ticket.resp = resp
 	close(it.ticket.done)
@@ -400,19 +600,28 @@ func (s *Scheduler) execute(it *item) {
 // queueWaitBounds buckets host queue-wait times from 1 µs to 10 s.
 var queueWaitBounds = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 
-// accountLocked lands one completed run on the per-tenant metrics. The
-// obs registry is single-owner by contract, so the scheduler mutex is
-// what serializes these updates.
+// accountLocked lands one completed run on the per-tenant metrics: the
+// cumulative registry (serialized by the scheduler mutex, and
+// Concurrent() besides for live readers) plus the rolling windows and
+// SLO tracker the /tenants snapshot serves.
 func (s *Scheduler) accountLocked(it *item, resp *Response, priv *obs.Registry) {
+	s.advanceLocked()
+	t := s.tenantLocked(it.tenant)
+	t.runs++
+	t.qwWin.Record(float64(resp.QueueNs))
+
 	reg := s.cfg.Obs
-	if reg == nil {
-		return
-	}
 	label := func(name string) string { return obs.Label(name, "tenant", it.tenant) }
-	reg.Counter(label("tenant_runs")).Inc()
-	reg.Histogram(label("tenant_queue_wait_ns"), queueWaitBounds).Observe(float64(resp.QueueNs))
+	if reg != nil {
+		reg.Counter(label("tenant_runs")).Inc()
+		reg.Histogram(label("tenant_queue_wait_ns"), queueWaitBounds).Observe(float64(resp.QueueNs))
+	}
 	if resp.Err != nil {
-		reg.Counter(label("tenant_errors")).Inc()
+		t.errors++
+		t.slo.RecordBad()
+		if reg != nil {
+			reg.Counter(label("tenant_errors")).Inc()
+		}
 		return
 	}
 	var simNs float64
@@ -422,8 +631,16 @@ func (s *Scheduler) accountLocked(it *item, resp *Response, priv *obs.Registry) 
 	case resp.PlanResult != nil:
 		simNs = resp.PlanResult.TotalNs
 	}
-	reg.Gauge(label("tenant_sim_ns")).Add(simNs)
+	t.latWin.Record(simNs)
+	t.slo.Record(simNs)
+	if reg != nil {
+		reg.Gauge(label("tenant_sim_ns")).Add(simNs)
+	}
 	if priv != nil {
-		reg.Counter(label("tenant_exchange_bytes")).Add(priv.Counter("exchange_bytes").Value())
+		xb := priv.Counter("exchange_bytes").Value()
+		t.exWin.Record(float64(xb))
+		if reg != nil {
+			reg.Counter(label("tenant_exchange_bytes")).Add(xb)
+		}
 	}
 }

@@ -1,0 +1,106 @@
+package simulate
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"github.com/ecocloud-go/mondrian/internal/obs"
+)
+
+// TestChromeTraceDeterminism mirrors TestManifestDeterminism for the
+// Chrome trace exporter: the rendered trace_event JSON carries simulated
+// timestamps only, so the same run at parallelism 1, 4 and GOMAXPROCS
+// must produce byte-identical output. A representative subset of the
+// matrix keeps the test fast — span-tree determinism across the full
+// matrix is already pinned by the manifest suite; this adds the
+// exporter's own byte stability.
+func TestChromeTraceDeterminism(t *testing.T) {
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	cases := []struct {
+		sys System
+		op  Operator
+	}{
+		{Mondrian, OpJoin},
+		{Mondrian, OpSort},
+		{NMP, OpGroupBy},
+		{CPU, OpScan},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.sys.String()+"/"+tc.op.String(), func(t *testing.T) {
+			t.Parallel()
+			var golden []byte
+			for _, par := range levels {
+				p := goldenParams()
+				p.Parallelism = par
+				p.Obs = obs.NewRegistry()
+				r, err := Run(tc.sys, tc.op, p)
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				var buf bytes.Buffer
+				if err := obs.WriteChromeTrace(&buf, r.Spans); err != nil {
+					t.Fatalf("parallelism %d: WriteChromeTrace: %v", par, err)
+				}
+				if golden == nil {
+					golden = append([]byte(nil), buf.Bytes()...)
+					// The first rendering must be a valid trace_event doc
+					// with at least the run span and one track.
+					var doc struct {
+						TraceEvents []map[string]any `json:"traceEvents"`
+					}
+					if err := json.Unmarshal(golden, &doc); err != nil {
+						t.Fatalf("invalid trace JSON: %v", err)
+					}
+					if len(doc.TraceEvents) < 2 {
+						t.Fatalf("trace has %d events, want at least a metadata and a span event", len(doc.TraceEvents))
+					}
+					continue
+				}
+				if !bytes.Equal(golden, buf.Bytes()) {
+					t.Errorf("chrome trace at parallelism %d differs from parallelism %d", par, levels[0])
+				}
+			}
+		})
+	}
+}
+
+// TestManifestWindowSummaries: the manifest digests every histogram into
+// a sorted p50/p95/p99 window summary.
+func TestManifestWindowSummaries(t *testing.T) {
+	p := goldenParams()
+	p.Obs = obs.NewRegistry()
+	r, err := Run(Mondrian, OpSort, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := BuildManifest(r, p, false)
+	if len(m.Windows) == 0 {
+		t.Fatalf("manifest has no window summaries")
+	}
+	if len(m.Windows) != len(m.Metrics.Histograms) {
+		t.Fatalf("summaries = %d, histograms = %d", len(m.Windows), len(m.Metrics.Histograms))
+	}
+	seen := map[string]bool{}
+	for i, w := range m.Windows {
+		if i > 0 && m.Windows[i-1].Name >= w.Name {
+			t.Fatalf("window summaries not sorted: %q then %q", m.Windows[i-1].Name, w.Name)
+		}
+		h, ok := m.Metrics.Histograms[w.Name]
+		if !ok {
+			t.Fatalf("summary %q has no matching histogram", w.Name)
+		}
+		if w.Count != h.Count {
+			t.Fatalf("summary %q count %d != histogram %d", w.Name, w.Count, h.Count)
+		}
+		if h.Count > 0 && w.P99 < w.P50 {
+			t.Fatalf("summary %q p99 %g < p50 %g", w.Name, w.P99, w.P50)
+		}
+		seen[w.Name] = true
+	}
+	if !seen["step_ns"] || !seen["mesh_hops"] {
+		t.Fatalf("expected step_ns and mesh_hops summaries, got %v", seen)
+	}
+}

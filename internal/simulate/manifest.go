@@ -72,6 +72,7 @@ func BuildManifest(res *Result, p Params, includeSpans bool) *obs.Manifest {
 		Metrics:          p.Obs.Snapshot(),
 		Host:             obs.NewHostInfo(p.Parallelism),
 	}
+	m.Windows = obs.SummarizeHistograms(m.Metrics)
 	for _, ph := range res.Phases {
 		m.Phases = append(m.Phases, obs.PhaseSummary{
 			Name:        ph.Name,

@@ -393,6 +393,7 @@ func BuildPlanManifest(res *PlanResult, p Params, includeSpans bool) *obs.Manife
 		Metrics:          p.Obs.Snapshot(),
 		Host:             obs.NewHostInfo(p.Parallelism),
 	}
+	m.Windows = obs.SummarizeHistograms(m.Metrics)
 	for _, ph := range res.Phases {
 		m.Phases = append(m.Phases, obs.PhaseSummary{
 			Name:        ph.Name,
